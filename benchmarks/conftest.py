@@ -1,0 +1,32 @@
+"""Shared helpers for the figure-reproduction benchmark suite.
+
+Every ``benchmarks/test_figXX_*.py`` regenerates one paper figure/table
+at the CI-sized configuration, times it with pytest-benchmark, prints
+the resulting table and asserts the figure's shape checks — the
+"does the paper's qualitative result hold?" criteria from DESIGN.md §4.
+
+The density sweep is shared (memoized) across benches, so the suite
+costs one sweep plus per-figure formatting.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import SMALL_CONFIG
+
+
+@pytest.fixture(scope="session")
+def config():
+    """The CI-sized experiment configuration used by every bench."""
+    return SMALL_CONFIG
+
+
+def run_figure(benchmark, run_fn, config):
+    """Benchmark one figure's regeneration and assert its shape checks."""
+    result = benchmark.pedantic(run_fn, args=(config,), iterations=1, rounds=1)
+    print()
+    print(result.table())
+    failed = [name for name, ok in result.checks.items() if not ok]
+    assert not failed, f"shape checks failed: {failed}"
+    return result

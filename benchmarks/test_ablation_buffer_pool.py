@@ -1,0 +1,28 @@
+"""Ablation: cold caches vs a shared warm buffer pool.
+
+The paper clears OS caches before every query, which is the regime all
+figures are measured in.  This bench quantifies how much a warm,
+capacity-bounded LRU buffer would change the picture — the seed tree's
+upper levels become free, exactly the pages the R-Trees also keep hot.
+"""
+
+from repro.core import FLATIndex
+from repro.data import build_microcircuit
+from repro.query import run_queries, sn_benchmark
+from repro.storage import PageStore
+
+
+def test_warm_buffer_absorbs_hierarchy_reads(benchmark):
+    circuit = build_microcircuit(20_000, side=18.0, seed=13)
+    queries = sn_benchmark(query_count=40).queries(circuit.space_mbr, seed=14)
+    store = PageStore()
+    index = FLATIndex.build(store, circuit.mbrs(), space_mbr=circuit.space_mbr)
+
+    def both():
+        cold = run_queries(index, store, queries, "flat", clear_cache_between=True)
+        warm = run_queries(index, store, queries, "flat", clear_cache_between=False)
+        return cold.total_page_reads, warm.total_page_reads
+
+    cold, warm = benchmark.pedantic(both, iterations=1, rounds=1)
+    print(f"\nSN page reads: cold={cold}, warm={warm}")
+    assert warm < cold, "a warm buffer must absorb repeated hierarchy reads"

@@ -1,0 +1,51 @@
+"""Ablation: tree depth (internal fanout) and the FLAT-vs-PR-Tree gap.
+
+DESIGN.md documents depth-matching as the scale knob that restores the
+paper's tree geometry at reduced element counts: lowering the internal
+fanout deepens every tree (R-Tree internals and FLAT's seed tree alike)
+and grows the hierarchy overhead the R-Trees pay per query — which is
+exactly where FLAT's advantage comes from in the paper.
+"""
+
+import numpy as np
+
+from repro.core import FLATIndex
+from repro.data import build_microcircuit
+from repro.query import run_queries, sn_benchmark
+from repro.rtree import bulkload_rtree
+from repro.storage import NODE_FANOUT, PageStore
+
+
+def _sn_reads(fanout: int, circuit, queries) -> dict:
+    mbrs = circuit.mbrs()
+    reads = {}
+    for name in ("flat", "prtree"):
+        store = PageStore()
+        if name == "flat":
+            index = FLATIndex.build(
+                store, mbrs, space_mbr=circuit.space_mbr, seed_fanout=fanout
+            )
+        else:
+            index = bulkload_rtree(store, mbrs, name, fanout=fanout)
+        reads[name] = run_queries(index, store, queries, name).total_page_reads
+    return reads
+
+
+def test_depth_matching_widens_flat_advantage(benchmark):
+    circuit = build_microcircuit(25_000, side=21.0, seed=9)
+    queries = sn_benchmark(query_count=40).queries(circuit.space_mbr, seed=10)
+
+    def both():
+        shallow = _sn_reads(NODE_FANOUT, circuit, queries)
+        deep = _sn_reads(9, circuit, queries)
+        return shallow, deep
+
+    shallow, deep = benchmark.pedantic(both, iterations=1, rounds=1)
+    shallow_factor = shallow["prtree"] / shallow["flat"]
+    deep_factor = deep["prtree"] / deep["flat"]
+    print(
+        f"\nSN reads prtree/flat: fanout {NODE_FANOUT} -> {shallow_factor:.2f}x, "
+        f"fanout 9 -> {deep_factor:.2f}x"
+    )
+    assert shallow_factor > 1.0, "flat should beat the prtree even shallow"
+    assert deep_factor > shallow_factor, "depth-matching should widen the gap"

@@ -1,0 +1,9 @@
+"""Fig. 2: point-query overlap probe on the R-Tree variants (see DESIGN.md §4)."""
+
+from repro.experiments import fig02_point_overlap as experiment
+
+from conftest import run_figure
+
+
+def test_fig02(benchmark, config):
+    run_figure(benchmark, experiment.run, config)

@@ -1,0 +1,9 @@
+"""Fig. 3: SN page reads per result element on the PR-Tree (see DESIGN.md §4)."""
+
+from repro.experiments import fig03_sn_per_result_prtree as experiment
+
+from conftest import run_figure
+
+
+def test_fig03(benchmark, config):
+    run_figure(benchmark, experiment.run, config)

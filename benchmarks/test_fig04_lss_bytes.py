@@ -1,0 +1,9 @@
+"""Fig. 4: LSS bytes retrieved vs result size on the R-Trees (see DESIGN.md §4)."""
+
+from repro.experiments import fig04_lss_bytes as experiment
+
+from conftest import run_figure
+
+
+def test_fig04(benchmark, config):
+    run_figure(benchmark, experiment.run, config)

@@ -1,0 +1,9 @@
+"""Fig. 10: index build time across the density sweep (see DESIGN.md §4)."""
+
+from repro.experiments import fig10_build_time as experiment
+
+from conftest import run_figure
+
+
+def test_fig10(benchmark, config):
+    run_figure(benchmark, experiment.run, config)

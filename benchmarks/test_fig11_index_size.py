@@ -1,0 +1,9 @@
+"""Fig. 11: index size breakdown, FLAT vs PR-Tree (see DESIGN.md §4)."""
+
+from repro.experiments import fig11_index_size as experiment
+
+from conftest import run_figure
+
+
+def test_fig11(benchmark, config):
+    run_figure(benchmark, experiment.run, config)

@@ -1,0 +1,9 @@
+"""Fig. 12: SN total page reads, FLAT vs the R-Trees (see DESIGN.md §4)."""
+
+from repro.experiments import fig12_sn_page_reads as experiment
+
+from conftest import run_figure
+
+
+def test_fig12(benchmark, config):
+    run_figure(benchmark, experiment.run, config)

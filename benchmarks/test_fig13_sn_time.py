@@ -1,0 +1,9 @@
+"""Fig. 13: SN execution time (simulated I/O + CPU) (see DESIGN.md §4)."""
+
+from repro.experiments import fig13_sn_time as experiment
+
+from conftest import run_figure
+
+
+def test_fig13(benchmark, config):
+    run_figure(benchmark, experiment.run, config)

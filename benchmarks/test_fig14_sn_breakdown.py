@@ -1,0 +1,9 @@
+"""Fig. 14: SN retrieved-data breakdown, FLAT vs PR-Tree (see DESIGN.md §4)."""
+
+from repro.experiments import fig14_sn_breakdown as experiment
+
+from conftest import run_figure
+
+
+def test_fig14(benchmark, config):
+    run_figure(benchmark, experiment.run, config)

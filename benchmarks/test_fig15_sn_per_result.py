@@ -1,0 +1,9 @@
+"""Fig. 15: SN page reads per result element (see DESIGN.md §4)."""
+
+from repro.experiments import fig15_sn_per_result as experiment
+
+from conftest import run_figure
+
+
+def test_fig15(benchmark, config):
+    run_figure(benchmark, experiment.run, config)

@@ -1,0 +1,9 @@
+"""Fig. 16: LSS total page reads, FLAT vs the R-Trees (see DESIGN.md §4)."""
+
+from repro.experiments import fig16_lss_page_reads as experiment
+
+from conftest import run_figure
+
+
+def test_fig16(benchmark, config):
+    run_figure(benchmark, experiment.run, config)

@@ -1,0 +1,9 @@
+"""Fig. 17: LSS execution time (simulated I/O + CPU) (see DESIGN.md §4)."""
+
+from repro.experiments import fig17_lss_time as experiment
+
+from conftest import run_figure
+
+
+def test_fig17(benchmark, config):
+    run_figure(benchmark, experiment.run, config)

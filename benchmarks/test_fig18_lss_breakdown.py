@@ -1,0 +1,9 @@
+"""Fig. 18: LSS retrieved-data breakdown, FLAT vs PR-Tree (see DESIGN.md §4)."""
+
+from repro.experiments import fig18_lss_breakdown as experiment
+
+from conftest import run_figure
+
+
+def test_fig18(benchmark, config):
+    run_figure(benchmark, experiment.run, config)

@@ -1,0 +1,9 @@
+"""Fig. 19: LSS page reads per result element (see DESIGN.md §4)."""
+
+from repro.experiments import fig19_lss_per_result as experiment
+
+from conftest import run_figure
+
+
+def test_fig19(benchmark, config):
+    run_figure(benchmark, experiment.run, config)

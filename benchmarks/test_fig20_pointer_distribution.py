@@ -1,0 +1,9 @@
+"""Fig. 20: neighbor-pointer distribution across densities (see DESIGN.md §4)."""
+
+from repro.experiments import fig20_pointer_distribution as experiment
+
+from conftest import run_figure
+
+
+def test_fig20(benchmark, config):
+    run_figure(benchmark, experiment.run, config)

@@ -1,0 +1,9 @@
+"""Fig. 21: partition volume vs neighbor pointer count (see DESIGN.md §4)."""
+
+from repro.experiments import fig21_partition_size as experiment
+
+from conftest import run_figure
+
+
+def test_fig21(benchmark, config):
+    run_figure(benchmark, experiment.run, config)

@@ -1,0 +1,9 @@
+"""Fig. 22: index size/build time on the Sec. VIII data sets (see DESIGN.md §4)."""
+
+from repro.experiments import fig22_other_datasets_index as experiment
+
+from conftest import run_figure
+
+
+def test_fig22(benchmark, config):
+    run_figure(benchmark, experiment.run, config)

@@ -1,0 +1,9 @@
+"""Fig. 23: query time and speed-up on the Sec. VIII data sets (see DESIGN.md §4)."""
+
+from repro.experiments import fig23_other_datasets_queries as experiment
+
+from conftest import run_figure
+
+
+def test_fig23(benchmark, config):
+    run_figure(benchmark, experiment.run, config)

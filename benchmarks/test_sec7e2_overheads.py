@@ -1,0 +1,10 @@
+"""Sec. VII-E.2: FLAT memory bookkeeping and I/O-bound share (see
+DESIGN.md §4)."""
+
+from repro.experiments import sec7e2_overheads as experiment
+
+from conftest import run_figure
+
+
+def test_sec7e2_overheads(benchmark, config):
+    run_figure(benchmark, experiment.run, config)

@@ -1,0 +1,14 @@
+"""Sec. VII-E text experiments: element volume and aspect-ratio effects
+on FLAT's neighbor pointer counts (see DESIGN.md §4)."""
+
+from repro.experiments import sec7e_element_effects as experiment
+
+from conftest import run_figure
+
+
+def test_sec7e_element_volume(benchmark, config):
+    run_figure(benchmark, experiment.run_element_volume, config)
+
+
+def test_sec7e_aspect_ratio(benchmark, config):
+    run_figure(benchmark, experiment.run_aspect_ratio, config)

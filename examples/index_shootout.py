@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Compare every index in the library on one data set.
+
+Bulkloads FLAT and all five R-Tree variants (STR, Hilbert, PR-Tree,
+TGS, dynamic R*-Tree) on the same microcircuit and races them on the
+SN and LSS micro-benchmarks, printing a page-read table — a miniature
+of the paper's Figs. 12/16 extended with the variants the paper only
+discusses in related work.
+
+Run:  python examples/index_shootout.py
+"""
+
+import time
+
+from repro import FLATIndex, PageStore, bulkload_rtree
+from repro.analysis import format_table
+from repro.data import build_microcircuit
+from repro.query import lss_benchmark, run_queries, sn_benchmark
+
+VARIANTS = ("str", "hilbert", "prtree", "tgs", "rstar")
+
+
+def main():
+    circuit = build_microcircuit(25_000, side=21.0, seed=11)
+    mbrs = circuit.mbrs()
+    sn = sn_benchmark(query_count=50).queries(circuit.space_mbr, seed=1)
+    lss = lss_benchmark(query_count=20).queries(circuit.space_mbr, seed=2)
+    print(f"{len(mbrs)} elements; SN x{len(sn)}, LSS x{len(lss)} queries\n")
+
+    rows = []
+    for name in ("flat",) + VARIANTS:
+        store = PageStore()
+        t0 = time.perf_counter()
+        if name == "flat":
+            index = FLATIndex.build(store, mbrs, space_mbr=circuit.space_mbr)
+        else:
+            index = bulkload_rtree(store, mbrs, name)
+        build_s = time.perf_counter() - t0
+        sn_run = run_queries(index, store, sn, name)
+        lss_run = run_queries(index, store, lss, name)
+        rows.append(
+            [
+                name,
+                build_s,
+                store.size_bytes / 1e6,
+                sn_run.total_page_reads,
+                lss_run.total_page_reads,
+                sn_run.pages_per_result,
+                lss_run.pages_per_result,
+            ]
+        )
+
+    print(
+        format_table(
+            [
+                "index",
+                "build s",
+                "size MB",
+                "SN reads",
+                "LSS reads",
+                "SN reads/result",
+                "LSS reads/result",
+            ],
+            rows,
+            title="index shootout (lower reads are better)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Shim for environments without the ``wheel`` package.
+
+``pip install -e . --no-build-isolation --no-use-pep517`` falls back to
+``setup.py develop``, which works offline; all real metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,35 @@
+"""repro — FLAT spatial index and benchmark suite.
+
+A full reproduction of Tauheed et al., "Accelerating Range Queries for
+Brain Simulations" (ICDE 2012): the FLAT two-phase (seed + crawl)
+index, the bulkloaded R-Tree baselines (STR, Hilbert, Priority R-Tree,
+plus TGS and a dynamic R*-Tree), a paged storage engine with per-
+category I/O accounting, generators for every evaluated data set, and
+one experiment per paper figure/table.
+
+Quick start::
+
+    import numpy as np
+    from repro import FLATIndex, PageStore, bulkload_rtree
+
+    store = PageStore()
+    index = FLATIndex.build(store, element_mbrs)   # (N, 6) boxes
+    hits = index.range_query(np.array([0, 0, 0, 10, 10, 10]))
+"""
+
+from repro.core import FLATIndex
+from repro.rtree import RStarTree, RTree, bulkload_rtree
+from repro.storage import DiskModel, IOStats, PageStore
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DiskModel",
+    "FLATIndex",
+    "IOStats",
+    "PageStore",
+    "RStarTree",
+    "RTree",
+    "bulkload_rtree",
+    "__version__",
+]

@@ -1,0 +1,19 @@
+"""Measurement and reporting helpers shared by the experiments."""
+
+from repro.analysis.histograms import PointerDistribution, pointer_histogram
+from repro.analysis.overlap import (
+    OverlapMeasurement,
+    leaf_nonleaf_ratio,
+    measure_overlap,
+)
+from repro.analysis.report import format_table, to_csv
+
+__all__ = [
+    "OverlapMeasurement",
+    "PointerDistribution",
+    "format_table",
+    "leaf_nonleaf_ratio",
+    "measure_overlap",
+    "pointer_histogram",
+    "to_csv",
+]

@@ -1,0 +1,43 @@
+"""Distribution summaries for FLAT's neighbor-pointer analysis (Fig. 20/21)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PointerDistribution:
+    """Summary statistics of a pointer-count distribution."""
+
+    count: int
+    mean: float
+    median: float
+    p25: float
+    p75: float
+    max: int
+
+    @classmethod
+    def from_counts(cls, counts: np.ndarray) -> "PointerDistribution":
+        counts = np.asarray(counts)
+        if len(counts) == 0:
+            raise ValueError("empty pointer-count array")
+        return cls(
+            count=int(len(counts)),
+            mean=float(counts.mean()),
+            median=float(np.median(counts)),
+            p25=float(np.percentile(counts, 25)),
+            p75=float(np.percentile(counts, 75)),
+            max=int(counts.max()),
+        )
+
+
+def pointer_histogram(counts: np.ndarray, bin_width: int = 1) -> dict:
+    """``pointer count bucket -> number of partitions`` (Fig. 20's axes)."""
+    counts = np.asarray(counts)
+    if bin_width <= 0:
+        raise ValueError(f"bin_width must be positive, got {bin_width}")
+    buckets = (counts // bin_width) * bin_width
+    values, freq = np.unique(buckets, return_counts=True)
+    return {int(v): int(f) for v, f in zip(values, freq)}

@@ -1,0 +1,57 @@
+"""Overlap analysis: the paper's diagnosis of why R-Trees degrade.
+
+"The point query is an excellent indication of overlap in an R-Tree:
+the number of disk pages read to execute this query in an R-Tree
+without overlap is equal to the height of the tree." (Sec. III)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.query.executor import run_point_queries
+from repro.storage.pagestore import PageStore
+from repro.storage.stats import CATEGORY_RTREE_INTERNAL, CATEGORY_RTREE_LEAF
+
+
+@dataclass(frozen=True)
+class OverlapMeasurement:
+    """Point-query overlap probe of one R-Tree."""
+
+    variant: str
+    tree_height: int
+    queries: int
+    pages_per_point_query: float
+    overlap_factor: float  # pages per query / height; 1.0 == overlap-free
+
+    @property
+    def has_overlap(self) -> bool:
+        return self.overlap_factor > 1.0
+
+
+def measure_overlap(
+    tree, store: PageStore, points: np.ndarray, variant: str = ""
+) -> OverlapMeasurement:
+    """Run the paper's point-query probe against one tree."""
+    run = run_point_queries(tree, store, points, variant)
+    # Height in *pages along one path*: internal levels plus the leaf.
+    height_pages = tree.height + 1
+    per_query = run.total_page_reads / run.query_count
+    return OverlapMeasurement(
+        variant=variant or type(tree).__name__,
+        tree_height=height_pages,
+        queries=run.query_count,
+        pages_per_point_query=per_query,
+        overlap_factor=per_query / height_pages,
+    )
+
+
+def leaf_nonleaf_ratio(run) -> float:
+    """Non-leaf to leaf page-read ratio (the paper's Fig. 14 analysis)."""
+    leaf = run.reads_by_category.get(CATEGORY_RTREE_LEAF, 0)
+    nonleaf = run.reads_by_category.get(CATEGORY_RTREE_INTERNAL, 0)
+    if leaf == 0:
+        return float("nan")
+    return nonleaf / leaf

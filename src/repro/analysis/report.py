@@ -1,0 +1,48 @@
+"""Plain-text table/CSV rendering for experiment output.
+
+Every experiment regenerates one paper figure or table as rows of
+numbers; this module renders them readably in a terminal and as CSV for
+plotting.
+"""
+
+from __future__ import annotations
+
+import io
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(headers: list, rows: list, title: str = "") -> str:
+    """Render rows as an aligned ASCII table."""
+    cells = [[_fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(str(h)), *(len(r[i]) for r in cells)) if cells else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    header_line = " | ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    out.write(header_line + "\n")
+    out.write("-+-".join("-" * w for w in widths) + "\n")
+    for row in cells:
+        out.write(" | ".join(c.rjust(w) for c, w in zip(row, widths)) + "\n")
+    return out.getvalue()
+
+
+def to_csv(headers: list, rows: list) -> str:
+    """Render rows as CSV (no quoting needed for numeric tables)."""
+    lines = [",".join(str(h) for h in headers)]
+    for row in rows:
+        lines.append(",".join(_fmt(v) for v in row))
+    return "\n".join(lines) + "\n"

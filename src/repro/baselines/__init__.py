@@ -1,0 +1,16 @@
+"""Non-R-Tree baselines discussed by the paper's related work.
+
+Currently: a DLS-style connectivity crawler
+(:class:`~repro.baselines.dls.ConnectivityCrawler`) used to reproduce
+the paper's Sec. II claim that crawling over *element* connectivity
+fails on concave data — the motivation for FLAT's synthetic
+partition-level neighborhood.
+"""
+
+from repro.baselines.dls import (
+    ConnectivityCrawler,
+    chain_adjacency,
+    mesh_adjacency,
+)
+
+__all__ = ["ConnectivityCrawler", "chain_adjacency", "mesh_adjacency"]

@@ -1,0 +1,137 @@
+"""A DLS-style crawling baseline over *element* connectivity.
+
+The paper's related work (Sec. II) discusses crawling approaches like
+DLS [19] that answer range queries by walking the data set's own
+connectivity (mesh adjacency): cheap when it works, but it "require[s]
+the data set to be convex"; concave regions — holes — "can split the
+connected data set inside a range query into two parts, preventing the
+algorithm from crawling from one part to the other".
+
+This module implements that baseline so the claim is reproducible: a
+breadth-first crawl over user-supplied element adjacency, seeded at one
+element inside the query.  On convex/connected data it returns exactly
+the brute-force result; on concave data it provably under-reports
+(see ``tests/baselines/test_dls.py``), which is precisely why FLAT
+builds its own gap-free partition-level neighborhood instead.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.geometry.intersect import boxes_intersect_box
+from repro.geometry.mbr import mbr_center, validate_mbrs
+
+
+def chain_adjacency(n_elements: int, chain_length: int) -> list:
+    """Adjacency of elements forming consecutive chains (neuron branches).
+
+    Elements ``[k*chain_length, (k+1)*chain_length)`` form one chain;
+    neighbor = predecessor/successor in the chain.  This is the natural
+    connectivity of branch cylinders.
+    """
+    if chain_length <= 0:
+        raise ValueError(f"chain_length must be positive, got {chain_length}")
+    adjacency = [[] for _ in range(n_elements)]
+    for i in range(n_elements):
+        if i % chain_length != 0:
+            adjacency[i].append(i - 1)
+        if (i + 1) % chain_length != 0 and i + 1 < n_elements:
+            adjacency[i].append(i + 1)
+    return adjacency
+
+
+def mesh_adjacency(triangles: np.ndarray, decimals: int = 9) -> list:
+    """Adjacency of mesh triangles sharing at least one vertex.
+
+    ``triangles`` is an ``(N, 3, 3)`` vertex array; vertices are matched
+    after rounding to *decimals* (procedural meshes produce exact
+    duplicates, so this is lossless there).
+    """
+    triangles = np.asarray(triangles, dtype=np.float64)
+    if triangles.ndim != 3 or triangles.shape[1:] != (3, 3):
+        raise ValueError(f"expected (N, 3, 3) triangles, got {triangles.shape}")
+    vertex_owners: dict = {}
+    for t in range(len(triangles)):
+        for v in range(3):
+            key = tuple(np.round(triangles[t, v], decimals))
+            vertex_owners.setdefault(key, []).append(t)
+    adjacency = [set() for _ in range(len(triangles))]
+    for owners in vertex_owners.values():
+        for a in owners:
+            for b in owners:
+                if a != b:
+                    adjacency[a].add(b)
+    return [sorted(s) for s in adjacency]
+
+
+class ConnectivityCrawler:
+    """Range queries by crawling the data set's own element adjacency.
+
+    Parameters
+    ----------
+    element_mbrs:
+        ``(N, 6)`` element MBRs.
+    adjacency:
+        ``adjacency[i]`` lists the element ids connected to element
+        ``i`` (mesh neighbors, chain predecessors/successors, ...).
+    """
+
+    def __init__(self, element_mbrs: np.ndarray, adjacency: list):
+        self.mbrs = validate_mbrs(element_mbrs)
+        if len(adjacency) != len(self.mbrs):
+            raise ValueError(
+                f"adjacency has {len(adjacency)} entries for "
+                f"{len(self.mbrs)} elements"
+            )
+        self.adjacency = adjacency
+        self._centers = mbr_center(self.mbrs)
+
+    def _seed(self, query: np.ndarray) -> int | None:
+        """An arbitrary element intersecting the query (jump step).
+
+        Real DLS uses an approximate search structure; any seed inside
+        the range gives the same crawl result, so the simulation picks
+        the matching element nearest the query center.
+        """
+        mask = boxes_intersect_box(self.mbrs, query)
+        candidates = np.flatnonzero(mask)
+        if len(candidates) == 0:
+            return None
+        center = (query[:3] + query[3:]) * 0.5
+        dist = np.linalg.norm(self._centers[candidates] - center, axis=1)
+        return int(candidates[np.argmin(dist)])
+
+    def range_query(self, query: np.ndarray, start: int | None = None) -> np.ndarray:
+        """Crawl the connectivity graph from a seed inside the query.
+
+        Returns the element ids *reachable through the query region* —
+        equal to the true result only when the matching elements form a
+        single connected component, which concave data violates.
+        """
+        query = np.asarray(query, dtype=np.float64)
+        seed = self._seed(query) if start is None else start
+        if seed is None:
+            return np.empty(0, dtype=np.int64)
+
+        visited = {seed}
+        queue = deque([seed])
+        results = []
+        while queue:
+            element = queue.popleft()
+            if not boxes_intersect_box(self.mbrs[element][None, :], query)[0]:
+                continue
+            results.append(element)
+            for neighbor in self.adjacency[element]:
+                if neighbor not in visited:
+                    visited.add(neighbor)
+                    queue.append(neighbor)
+        return np.sort(np.asarray(results, dtype=np.int64))
+
+    def misses(self, query: np.ndarray) -> np.ndarray:
+        """Matching elements the crawl cannot reach (the paper's failure)."""
+        full = np.flatnonzero(boxes_intersect_box(self.mbrs, np.asarray(query)))
+        found = self.range_query(query)
+        return np.setdiff1d(full, found)

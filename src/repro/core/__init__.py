@@ -1,0 +1,29 @@
+"""FLAT — the paper's primary contribution.
+
+Public entry point: :class:`~repro.core.flat_index.FLATIndex`.
+
+>>> from repro.core import FLATIndex
+>>> from repro.storage import PageStore
+>>> index = FLATIndex.build(PageStore(), element_mbrs)
+>>> hits = index.range_query(query_box)
+"""
+
+from repro.core.flat_index import BuildReport, CrawlStats, FLATIndex
+from repro.core.metadata import MetadataRecord, pack_records_into_pages
+from repro.core.neighbors import compute_neighbors, neighbor_counts
+from repro.core.partition import Partition, compute_partitions, coverage_gaps_exist
+from repro.core.seed_index import SeedIndex
+
+__all__ = [
+    "BuildReport",
+    "CrawlStats",
+    "FLATIndex",
+    "MetadataRecord",
+    "Partition",
+    "SeedIndex",
+    "compute_neighbors",
+    "compute_partitions",
+    "coverage_gaps_exist",
+    "neighbor_counts",
+    "pack_records_into_pages",
+]

@@ -1,0 +1,228 @@
+"""FLAT: the two-phase (seed + crawl) range-query index.
+
+Build (Sec. V): STR-partition the space (Algorithm 1), write one object
+page per partition, compute neighbor partitions via a temporary R-Tree,
+pack the resulting metadata records into the seed tree's leaves.
+
+Query (Sec. VI, Algorithm 2): find one intersecting page through the
+seed index, then breadth-first-search the neighbor graph — reading an
+object page only if the record's *page MBR* intersects the query and
+expanding neighbors only if its *partition MBR* does.
+
+Known deviation from the paper's pseudocode: Algorithm 2 as printed
+only marks pages visited when their page MBR intersects the query, so
+two mutually-neighboring records whose partitions (but not pages)
+intersect the query would re-enqueue each other forever.  We mark
+*records* visited on first enqueue, which terminates and provably reads
+the same set of pages.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.geometry.intersect import boxes_intersect_box
+from repro.geometry.mbr import validate_mbrs
+from repro.storage.constants import OBJECT_PAGE_CAPACITY
+from repro.storage.pagestore import PageStore
+from repro.storage.serial import decode_element_page, encode_element_page
+from repro.storage.stats import CATEGORY_OBJECT
+from repro.core.metadata import MetadataRecord
+from repro.core.neighbors import compute_neighbors, neighbor_counts
+from repro.core.partition import compute_partitions
+from repro.core.seed_index import SeedIndex
+
+
+@dataclass
+class BuildReport:
+    """Timings and statistics of one FLAT build (Fig. 10's breakdown)."""
+
+    partitioning_seconds: float = 0.0
+    finding_neighbors_seconds: float = 0.0
+    packing_seconds: float = 0.0
+    partition_count: int = 0
+    pointer_counts: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
+
+    @property
+    def total_seconds(self) -> float:
+        return (
+            self.partitioning_seconds
+            + self.finding_neighbors_seconds
+            + self.packing_seconds
+        )
+
+
+@dataclass
+class CrawlStats:
+    """Per-query bookkeeping of the breadth-first search (Sec. VII-E.2)."""
+
+    seeded: bool = False
+    records_dequeued: int = 0
+    object_pages_read: int = 0
+    max_queue_length: int = 0
+    result_count: int = 0
+
+    @property
+    def bookkeeping_bytes(self) -> int:
+        """Peak queue footprint: one 8-byte record id per queued entry."""
+        return self.max_queue_length * 8
+
+
+class FLATIndex:
+    """A bulkloaded FLAT index over a simulated page store."""
+
+    def __init__(
+        self,
+        store: PageStore,
+        seed_index: SeedIndex,
+        object_page_element_ids: dict,
+        element_count: int,
+        build_report: BuildReport,
+    ):
+        self.store = store
+        self.seed_index = seed_index
+        #: object page id -> original element ids, in slot order.
+        self.object_page_element_ids = object_page_element_ids
+        self.element_count = element_count
+        self.build_report = build_report
+        self.last_crawl_stats: CrawlStats | None = None
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        store: PageStore,
+        element_mbrs: np.ndarray,
+        space_mbr: np.ndarray | None = None,
+        page_capacity: int = OBJECT_PAGE_CAPACITY,
+        seed_fanout: int | None = None,
+        spatial_metadata_grouping: bool = True,
+    ) -> "FLATIndex":
+        """Bulkload FLAT over *element_mbrs* (Algorithm 1 + data layout).
+
+        ``seed_fanout`` optionally caps the seed tree's internal fanout
+        (kept in lockstep with the R-Tree baselines by the experiments'
+        depth-matched configurations).  ``spatial_metadata_grouping``
+        controls how metadata records are packed onto seed-tree leaves
+        (STR tiles vs raw partition order; ablation knob).
+        """
+        element_mbrs = validate_mbrs(element_mbrs)
+        if page_capacity > OBJECT_PAGE_CAPACITY:
+            raise ValueError(
+                f"page_capacity {page_capacity} exceeds the 4K page's "
+                f"{OBJECT_PAGE_CAPACITY}-element capacity"
+            )
+        report = BuildReport()
+
+        t0 = time.perf_counter()
+        partitions = compute_partitions(element_mbrs, page_capacity, space_mbr)
+        report.partitioning_seconds = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        compute_neighbors(partitions)
+        report.finding_neighbors_seconds = time.perf_counter() - t0
+        report.partition_count = len(partitions)
+        report.pointer_counts = neighbor_counts(partitions)
+
+        t0 = time.perf_counter()
+        object_page_element_ids = {}
+        records = []
+        for i, partition in enumerate(partitions):
+            payload = encode_element_page(element_mbrs[partition.element_ids])
+            page_id = store.allocate(payload, CATEGORY_OBJECT)
+            object_page_element_ids[page_id] = partition.element_ids
+            records.append(
+                MetadataRecord(
+                    record_id=i,
+                    page_mbr=partition.page_mbr,
+                    partition_mbr=partition.partition_mbr,
+                    object_page_id=page_id,
+                    neighbor_ids=tuple(partition.neighbors),
+                )
+            )
+        seed_index = SeedIndex.build(
+            store,
+            records,
+            fanout=seed_fanout,
+            spatial_grouping=spatial_metadata_grouping,
+        )
+        report.packing_seconds = time.perf_counter() - t0
+
+        return cls(
+            store, seed_index, object_page_element_ids, len(element_mbrs), report
+        )
+
+    # -- querying -------------------------------------------------------------
+
+    def range_query(self, query: np.ndarray) -> np.ndarray:
+        """All element ids whose MBR intersects *query* (Algorithm 2)."""
+        query = np.asarray(query, dtype=np.float64)
+        stats = CrawlStats()
+        self.last_crawl_stats = stats
+
+        seeded = self.seed_index.seed_query(query)
+        if seeded is None:
+            return np.empty(0, dtype=np.int64)
+        start_record, _slots = seeded
+        stats.seeded = True
+
+        results: list = []
+        queue: deque = deque([start_record.record_id])
+        enqueued = {start_record.record_id}
+        while queue:
+            stats.max_queue_length = max(stats.max_queue_length, len(queue))
+            record_id = queue.popleft()
+            stats.records_dequeued += 1
+            record = self.seed_index.fetch_record(record_id)
+
+            if boxes_intersect_box(record.page_mbr[None, :], query)[0]:
+                elements = decode_element_page(
+                    self.store.read(record.object_page_id)
+                )
+                stats.object_pages_read += 1
+                mask = boxes_intersect_box(elements, query)
+                if mask.any():
+                    results.append(
+                        self.object_page_element_ids[record.object_page_id][mask]
+                    )
+
+            if boxes_intersect_box(record.partition_mbr[None, :], query)[0]:
+                for neighbor_id in record.neighbor_ids:
+                    if neighbor_id not in enqueued:
+                        enqueued.add(neighbor_id)
+                        queue.append(neighbor_id)
+
+        if not results:
+            return np.empty(0, dtype=np.int64)
+        out = np.sort(np.concatenate(results))
+        stats.result_count = len(out)
+        return out
+
+    def point_query(self, point: np.ndarray) -> np.ndarray:
+        """Element ids whose MBR contains *point* (degenerate range query)."""
+        point = np.asarray(point, dtype=np.float64)
+        return self.range_query(np.concatenate([point, point]))
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def object_page_count(self) -> int:
+        return len(self.object_page_element_ids)
+
+    @property
+    def metadata_page_count(self) -> int:
+        return len(self.seed_index.leaf_page_ids)
+
+    @property
+    def seed_internal_page_count(self) -> int:
+        return self.seed_index.internal_node_count()
+
+    def pointer_count_histogram(self) -> dict:
+        """Neighbor pointer count -> number of partitions (Fig. 20)."""
+        values, counts = np.unique(self.build_report.pointer_counts, return_counts=True)
+        return {int(v): int(c) for v, c in zip(values, counts)}

@@ -1,0 +1,46 @@
+"""Algorithm 1, second half: neighborhood discovery.
+
+"All partition MBRs are inserted into a temporary R-Tree, used solely to
+compute the neighborhood information.  Finally, for each partition, a
+range query with the partition MBR is executed, and all intersecting
+partitions, the neighbors, are retrieved." (Sec. V-A)
+
+The temporary R-Tree lives on a throwaway page store whose I/O is *not*
+charged to query statistics (it exists only at build time; the paper's
+Fig. 10 accounts for this phase as wall-clock "Finding Neighbors" time,
+which we measure the same way).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.storage.pagestore import PageStore
+from repro.storage.stats import CATEGORY_RTREE_INTERNAL, CATEGORY_RTREE_LEAF
+from repro.rtree.rtree import build_rtree
+from repro.rtree.str_bulk import str_groups
+
+
+def compute_neighbors(partitions: list) -> None:
+    """Fill each partition's ``neighbors`` with intersecting partitions.
+
+    Mutates the partitions in place.  A partition is not its own
+    neighbor; the relation is symmetric because box intersection is.
+    """
+    boxes = np.stack([p.partition_mbr for p in partitions])
+    temp_store = PageStore()
+    temp_tree = build_rtree(
+        temp_store,
+        boxes,
+        str_groups,
+        CATEGORY_RTREE_LEAF,
+        CATEGORY_RTREE_INTERNAL,
+    )
+    for i, partition in enumerate(partitions):
+        hits = temp_tree.range_query(partition.partition_mbr)
+        partition.neighbors = [int(h) for h in hits if h != i]
+
+
+def neighbor_counts(partitions: list) -> np.ndarray:
+    """Number of neighbor pointers per partition (Fig. 20's histogram)."""
+    return np.array([len(p.neighbors) for p in partitions], dtype=np.int64)

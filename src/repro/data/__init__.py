@@ -1,0 +1,56 @@
+"""Data generators: every data set the paper evaluates on, synthesized.
+
+* :mod:`~repro.data.neuron` / :mod:`~repro.data.microcircuit` — brain
+  tissue models (branching cylinder fibers at controlled density).
+* :mod:`~repro.data.uniform` — Sec. VII-E's uniform random boxes with
+  controlled element volume / aspect ratio.
+* :mod:`~repro.data.nbody` — clustered cosmology point sets (Nuage
+  substitutes).
+* :mod:`~repro.data.mesh` — dense triangle surface meshes (brain
+  mesh / Lucy substitutes).
+* :mod:`~repro.data.registry` — the named Sec. VIII data sets at a
+  configurable scale.
+"""
+
+from repro.data.microcircuit import (
+    Microcircuit,
+    PAPER_DENSITY_STEPS,
+    PAPER_VOLUME_SIDE_UM,
+    build_microcircuit,
+    density_sweep,
+    space_box,
+)
+from repro.data.neuron import CylinderSet, MorphologyConfig, grow_neurons
+from repro.data.nbody import NBodyConfig, nbody_mbrs, nbody_points
+from repro.data.mesh import deformed_sphere_mesh, mesh_mbrs
+from repro.data.registry import DATASET_ORDER, PAPER_DATASET_SIZES_M, dataset_mbrs
+from repro.data.uniform import (
+    SYNTHETIC_VOLUME_SIDE_UM,
+    uniform_aspect_boxes,
+    uniform_centers,
+    uniform_cubes,
+)
+
+__all__ = [
+    "CylinderSet",
+    "DATASET_ORDER",
+    "Microcircuit",
+    "MorphologyConfig",
+    "NBodyConfig",
+    "PAPER_DATASET_SIZES_M",
+    "PAPER_DENSITY_STEPS",
+    "PAPER_VOLUME_SIDE_UM",
+    "SYNTHETIC_VOLUME_SIDE_UM",
+    "build_microcircuit",
+    "dataset_mbrs",
+    "deformed_sphere_mesh",
+    "density_sweep",
+    "grow_neurons",
+    "mesh_mbrs",
+    "nbody_mbrs",
+    "nbody_points",
+    "space_box",
+    "uniform_aspect_boxes",
+    "uniform_centers",
+    "uniform_cubes",
+]

@@ -1,0 +1,91 @@
+"""Procedural surface meshes: stand-ins for the scan data (Sec. VIII).
+
+The paper's last two data sets are triangle surface meshes: a brain
+section (173 M triangles) and the Lucy statue scan (252 M).  What makes
+meshes interesting for a spatial index is that their small triangles are
+*dense on a 2-D surface* embedded in 3-D — locally extremely dense,
+globally hollow.  We generate closed, deformed-sphere meshes (smooth
+trigonometric displacement fields over a UV sphere grid) with the same
+property; "blobbier" deformation approximates organic scans.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.geometry.shapes import triangles_to_mbrs
+
+
+def _grid_for(n_triangles: int) -> tuple:
+    """Choose a (latitude, longitude) grid yielding ~n_triangles."""
+    # A full UV sphere grid of (a, b) quads produces 2*a*b triangles.
+    if n_triangles < 8:
+        raise ValueError(f"need at least 8 triangles, got {n_triangles}")
+    a = max(2, int(math.sqrt(n_triangles / 4.0)))
+    b = max(2, int(round(n_triangles / (2.0 * a))))
+    return a, b
+
+
+def deformed_sphere_mesh(
+    n_triangles: int,
+    radius: float = 100.0,
+    deformation: float = 0.3,
+    n_modes: int = 6,
+    seed: int = 0,
+) -> np.ndarray:
+    """A closed triangulated surface with smooth random deformation.
+
+    Returns ``(M, 3, 3)`` triangle vertices with ``M`` close to
+    *n_triangles*.  ``deformation=0`` gives a sphere; larger values give
+    organic, concave blobs (like tissue or statue scans).
+    """
+    if radius <= 0:
+        raise ValueError(f"radius must be positive, got {radius}")
+    if deformation < 0:
+        raise ValueError(f"deformation must be non-negative, got {deformation}")
+    rng = np.random.default_rng(seed)
+    n_lat, n_lon = _grid_for(n_triangles)
+
+    theta = np.linspace(0.0, np.pi, n_lat + 1)
+    phi = np.linspace(0.0, 2.0 * np.pi, n_lon + 1)
+    tt, pp = np.meshgrid(theta, phi, indexing="ij")
+
+    # Smooth radial displacement: a few random low-frequency modes.
+    displacement = np.zeros_like(tt)
+    for _ in range(n_modes):
+        f_t = rng.integers(1, 5)
+        f_p = rng.integers(1, 5)
+        amp = rng.uniform(0.2, 1.0)
+        phase_t, phase_p = rng.uniform(0, 2 * np.pi, size=2)
+        displacement += amp * np.sin(f_t * tt + phase_t) * np.cos(f_p * pp + phase_p)
+    if n_modes:
+        displacement /= np.abs(displacement).max() + 1e-12
+    r = radius * (1.0 + deformation * displacement)
+
+    x = r * np.sin(tt) * np.cos(pp)
+    y = r * np.sin(tt) * np.sin(pp)
+    z = r * np.cos(tt)
+    grid = np.stack([x, y, z], axis=-1)  # (n_lat+1, n_lon+1, 3)
+
+    # Two triangles per quad.
+    a = grid[:-1, :-1]
+    b = grid[1:, :-1]
+    c = grid[1:, 1:]
+    d = grid[:-1, 1:]
+    t1 = np.stack([a, b, c], axis=2).reshape(-1, 3, 3)
+    t2 = np.stack([a, c, d], axis=2).reshape(-1, 3, 3)
+    return np.concatenate([t1, t2])
+
+
+def mesh_mbrs(
+    n_triangles: int,
+    radius: float = 100.0,
+    deformation: float = 0.3,
+    seed: int = 0,
+) -> np.ndarray:
+    """MBRs of a deformed-sphere mesh with ~*n_triangles* triangles."""
+    return triangles_to_mbrs(
+        deformed_sphere_mesh(n_triangles, radius, deformation, seed=seed)
+    )

@@ -1,0 +1,97 @@
+"""Microcircuit builder: the paper's density-sweep data sets.
+
+The paper's evaluation fixes a tissue volume and grows the element
+count: "While keeping the volume constant, we increase the number of
+elements in the model ... 50 million more cylinders in every step"
+(Sec. III-A / VII-A).  We reproduce the same nine-step constant-volume
+design at a configurable scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.neuron import CylinderSet, MorphologyConfig, grow_neurons
+
+#: The paper's tissue volume: a cube of side 285 µm (the model
+#: "contains 100'000 neurons in a volume of 285 µm^3").
+PAPER_VOLUME_SIDE_UM = 285.0
+
+#: The paper's nine density steps, in elements (50 M ... 450 M there;
+#: multiply by `scale` here).
+PAPER_DENSITY_STEPS = tuple(50 * i for i in range(1, 10))
+
+
+@dataclass(frozen=True)
+class Microcircuit:
+    """A generated brain-tissue model: cylinders in a fixed volume."""
+
+    cylinders: CylinderSet
+    space_mbr: np.ndarray
+    n_neurons: int
+
+    def __len__(self) -> int:
+        return len(self.cylinders)
+
+    def mbrs(self) -> np.ndarray:
+        return self.cylinders.mbrs()
+
+
+def space_box(side: float = PAPER_VOLUME_SIDE_UM) -> np.ndarray:
+    """The cubic tissue volume ``[0, side]^3``."""
+    if side <= 0:
+        raise ValueError(f"volume side must be positive, got {side}")
+    return np.array([0.0, 0.0, 0.0, side, side, side])
+
+
+def build_microcircuit(
+    n_elements: int,
+    side: float = PAPER_VOLUME_SIDE_UM,
+    config: MorphologyConfig | None = None,
+    seed: int = 0,
+) -> Microcircuit:
+    """Generate a microcircuit of ~*n_elements* cylinders in ``[0, side]^3``.
+
+    Density is controlled exactly as in the paper: the volume stays
+    fixed, and more neurons are placed to reach the target element
+    count.  The exact count is ``ceil(n / segments_per_neuron)`` neurons
+    times the per-neuron segment count, then truncated to *n_elements*.
+    """
+    if n_elements <= 0:
+        raise ValueError(f"n_elements must be positive, got {n_elements}")
+    config = config or MorphologyConfig()
+    rng = np.random.default_rng(seed)
+    space = space_box(side)
+
+    per_neuron = config.segments_per_neuron
+    n_neurons = max(1, -(-n_elements // per_neuron))
+    somata = rng.uniform(space[:3], space[3:], size=(n_neurons, 3))
+    cylinders = grow_neurons(somata, config, space, rng)
+
+    if len(cylinders) > n_elements:
+        cylinders = CylinderSet(
+            p0=cylinders.p0[:n_elements],
+            p1=cylinders.p1[:n_elements],
+            r0=cylinders.r0[:n_elements],
+            r1=cylinders.r1[:n_elements],
+        )
+    return Microcircuit(cylinders=cylinders, space_mbr=space, n_neurons=n_neurons)
+
+
+def density_sweep(
+    steps,
+    side: float = PAPER_VOLUME_SIDE_UM,
+    config: MorphologyConfig | None = None,
+    seed: int = 0,
+):
+    """Yield ``(n_elements, Microcircuit)`` for each density step.
+
+    Each step reuses the same volume and seed lineage, mirroring the
+    paper's "add 50 million more cylinders in every step" protocol.
+    """
+    for i, n_elements in enumerate(steps):
+        yield n_elements, build_microcircuit(
+            n_elements, side=side, config=config, seed=seed + i
+        )

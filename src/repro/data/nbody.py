@@ -1,0 +1,95 @@
+"""Clustered n-body point sets: stand-ins for the Nuage data (Sec. VIII).
+
+The paper evaluates FLAT on Nuage cosmology snapshots (dark matter, gas
+and stars vertices from an n-body simulation of the universe).  Those
+files are not redistributable, so we generate hierarchically clustered
+point sets with the same character: gravity collapses matter into halos
+(clusters of clusters) with Plummer-like radial profiles, leaving large
+voids — moderately dense, highly non-uniform data on which FLAT's edge
+over the PR-Tree is real but smaller than on brain models (Fig. 23).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.shapes import spheres_to_mbrs
+
+
+@dataclass(frozen=True)
+class NBodyConfig:
+    """Clustering parameters of a synthetic cosmology snapshot."""
+
+    n_points: int
+    side: float = 10_000.0
+    n_halos: int = 40
+    #: Fraction of points in halos; the rest form a diffuse background.
+    clustered_fraction: float = 0.8
+    #: Plummer scale radius of a halo, as a fraction of the volume side.
+    halo_scale: float = 0.02
+    #: Sub-halo count per halo (clusters of clusters); 0 disables.
+    subhalos_per_halo: int = 4
+    #: Softening radius used as the point element's extent.
+    softening: float = 1.0
+
+    def __post_init__(self):
+        if self.n_points <= 0:
+            raise ValueError("n_points must be positive")
+        if not 0.0 <= self.clustered_fraction <= 1.0:
+            raise ValueError("clustered_fraction must be within [0, 1]")
+        if self.n_halos < 1:
+            raise ValueError("n_halos must be >= 1")
+        if self.softening <= 0:
+            raise ValueError("softening must be positive")
+
+
+def _plummer_offsets(rng: np.random.Generator, n: int, scale: float) -> np.ndarray:
+    """Random offsets with a Plummer-sphere radial density profile."""
+    u = rng.uniform(0.0, 1.0, size=n)
+    # Inverse CDF of the Plummer cumulative mass profile.
+    r = scale / np.sqrt(np.clip(u ** (-2.0 / 3.0) - 1.0, 1e-12, None))
+    v = rng.normal(size=(n, 3))
+    norm = np.linalg.norm(v, axis=1, keepdims=True)
+    norm[norm == 0] = 1.0
+    return v / norm * r[:, None]
+
+
+def nbody_points(config: NBodyConfig, seed: int = 0) -> np.ndarray:
+    """Generate ``(n_points, 3)`` clustered positions in ``[0, side]^3``."""
+    rng = np.random.default_rng(seed)
+    n = config.n_points
+    n_clustered = int(round(config.clustered_fraction * n))
+    n_background = n - n_clustered
+
+    points = []
+    if n_clustered:
+        halo_centers = rng.uniform(0.0, config.side, size=(config.n_halos, 3))
+        assignment = rng.integers(0, config.n_halos, size=n_clustered)
+        scale = config.halo_scale * config.side
+        offsets = _plummer_offsets(rng, n_clustered, scale)
+        positions = halo_centers[assignment] + offsets
+        if config.subhalos_per_halo > 0:
+            # Second clustering level: pull a fraction of halo members
+            # towards sub-halo centers inside their halo.
+            sub_fraction = rng.uniform(0.0, 1.0, size=n_clustered) < 0.5
+            n_sub = int(sub_fraction.sum())
+            if n_sub:
+                sub_centers = halo_centers[assignment[sub_fraction]] + _plummer_offsets(
+                    rng, n_sub, scale
+                )
+                positions[sub_fraction] = sub_centers + _plummer_offsets(
+                    rng, n_sub, scale * 0.2
+                )
+        points.append(positions)
+    if n_background:
+        points.append(rng.uniform(0.0, config.side, size=(n_background, 3)))
+
+    out = np.concatenate(points)
+    return np.clip(out, 0.0, config.side)
+
+
+def nbody_mbrs(config: NBodyConfig, seed: int = 0) -> np.ndarray:
+    """MBRs of the snapshot's points (softening-radius spheres)."""
+    return spheres_to_mbrs(nbody_points(config, seed), config.softening)

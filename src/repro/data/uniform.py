@@ -1,0 +1,76 @@
+"""Uniform random box data sets (Sec. VII-E's controlled studies).
+
+The paper isolates the drivers of FLAT's pointer count with synthetic
+data: "we generate artificial data sets with 10 million elements which
+are uniformly randomly distributed in a volume of 8 mm^3", then vary
+(a) element volume and (b) element aspect ratio at constant volume.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.shapes import boxes_from_centers
+
+#: Side of the paper's synthetic volume: 8 mm^3 = (2000 µm)^3.
+SYNTHETIC_VOLUME_SIDE_UM = 2000.0
+
+
+def uniform_centers(
+    n: int, side: float = SYNTHETIC_VOLUME_SIDE_UM, seed: int = 0
+) -> np.ndarray:
+    """*n* element centers uniform in ``[0, side]^3``."""
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if side <= 0:
+        raise ValueError(f"side must be positive, got {side}")
+    rng = np.random.default_rng(seed)
+    return rng.uniform(0.0, side, size=(n, 3))
+
+
+def uniform_cubes(
+    n: int,
+    edge: float,
+    side: float = SYNTHETIC_VOLUME_SIDE_UM,
+    seed: int = 0,
+) -> np.ndarray:
+    """*n* axis-aligned cubes of the given *edge* at uniform positions.
+
+    Used for the element-volume study: scaling *edge* scales element
+    volume while positions stay fixed (same seed => same centers).
+    """
+    if edge < 0:
+        raise ValueError(f"edge must be non-negative, got {edge}")
+    centers = uniform_centers(n, side, seed)
+    extents = np.full((n, 3), float(edge))
+    return boxes_from_centers(centers, extents)
+
+
+def uniform_aspect_boxes(
+    n: int,
+    target_volume: float = 18.0,
+    length_range: tuple = (5.0, 35.0),
+    side: float = SYNTHETIC_VOLUME_SIDE_UM,
+    seed: int = 0,
+) -> np.ndarray:
+    """Boxes of equal volume but random aspect ratio (Sec. VII-E).
+
+    Implements the paper's construction: "for each element, its length
+    in each dimension is randomly set between 5 and 35 µm.  The lengths
+    on all axes are normalized (by choosing an axis at random) in order
+    to obtain elements of equal volume."  One randomly chosen axis is
+    rescaled so every element's volume equals *target_volume*.
+    """
+    if target_volume <= 0:
+        raise ValueError(f"target_volume must be positive, got {target_volume}")
+    lo, hi = length_range
+    if not 0 < lo <= hi:
+        raise ValueError(f"invalid length range {length_range}")
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(0.0, side, size=(n, 3))
+    extents = rng.uniform(lo, hi, size=(n, 3))
+    axis = rng.integers(0, 3, size=n)
+    rows = np.arange(n)
+    others = extents.prod(axis=1) / extents[rows, axis]
+    extents[rows, axis] = target_volume / others
+    return boxes_from_centers(centers, extents)

@@ -1,0 +1,21 @@
+"""Figure/table reproduction experiments (one module per experiment id).
+
+See DESIGN.md §4 for the experiment index and
+``python -m repro.experiments --list`` for the runnable ids.
+"""
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.config import (
+    DEFAULT_CONFIG,
+    ExperimentConfig,
+    FULL_CONFIG,
+    SMALL_CONFIG,
+)
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "FULL_CONFIG",
+    "SMALL_CONFIG",
+]

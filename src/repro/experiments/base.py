@@ -1,0 +1,44 @@
+"""Common result type for all figure/table reproduction experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.report import format_table, to_csv
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated paper figure/table.
+
+    ``checks`` maps a shape-assertion name (e.g. "flat beats every
+    R-Tree at the densest step") to whether it held in this run —
+    the reproduction criteria from DESIGN.md §4.
+    """
+
+    experiment_id: str
+    title: str
+    headers: list
+    rows: list
+    notes: str = ""
+    checks: dict = field(default_factory=dict)
+
+    def table(self) -> str:
+        """Human-readable table, as printed by the CLI."""
+        text = format_table(
+            self.headers, self.rows, title=f"[{self.experiment_id}] {self.title}"
+        )
+        if self.notes:
+            text += f"\n{self.notes}\n"
+        if self.checks:
+            text += "shape checks:\n"
+            for name, ok in self.checks.items():
+                text += f"  [{'ok' if ok else 'FAIL'}] {name}\n"
+        return text
+
+    def csv(self) -> str:
+        return to_csv(self.headers, self.rows)
+
+    @property
+    def all_checks_pass(self) -> bool:
+        return all(self.checks.values())

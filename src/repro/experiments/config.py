@@ -1,0 +1,98 @@
+"""Shared experiment configuration (scaled-down paper setup).
+
+The paper sweeps nine densities of 50 M…450 M cylinders in a constant
+285 µm-side volume.  A pure-Python reproduction runs the same nine-step
+constant-volume design at 1/1000–1/2000 of the element count and scales
+the query-volume *fractions* up by the corresponding factor, keeping
+per-query result sizes in the paper's regime (see
+:mod:`repro.query.benchmarks`).  Page geometry (4 K pages, 85 elements)
+is untouched, so all per-page effects are at full fidelity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.query.benchmarks import SCALED_LSS_FRACTION, SCALED_SN_FRACTION
+from repro.rtree import PAPER_VARIANTS
+from repro.storage.constants import NODE_FANOUT
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs shared by every figure-reproduction experiment."""
+
+    #: Constant-volume density steps (element counts per step).
+    density_steps: tuple = tuple(25_000 * i for i in range(1, 10))
+    #: Tissue cube side in µm.  The paper uses a 285 µm cube for
+    #: 50M-450M cylinders; at 1/2000 of the element count the side is
+    #: scaled so that the *volumetric density regime* (element MBR size
+    #: relative to the STR tile size, which drives both R-Tree overlap
+    #: and FLAT's partition stretching) spans the same range across the
+    #: sweep.
+    volume_side: float = 42.0
+    #: Internal-node fanout used for every tree (R-Tree internal nodes
+    #: and FLAT's seed tree alike).  The default is the full 4 K page
+    #: fanout (72).  The paper's trees hold 5.3M leaves and are 5-6
+    #: levels deep; at 1/1000 element scale a fanout-72 tree collapses
+    #: to 3 levels and hierarchy effects nearly vanish.  Setting
+    #: ``node_fanout ~ 9`` restores the paper's tree depth at reduced
+    #: scale (see the depth-matched configuration and the fanout
+    #: ablation benchmark).
+    node_fanout: int = NODE_FANOUT
+    #: SN / LSS query-volume fractions (scaled; see module docstring).
+    sn_fraction: float = SCALED_SN_FRACTION
+    lss_fraction: float = SCALED_LSS_FRACTION
+    #: Queries per benchmark (the paper runs 200).
+    query_count: int = 200
+    #: Point queries for the Fig. 2 overlap probe.
+    point_query_count: int = 200
+    #: R-Tree variants to compare against FLAT.
+    variants: tuple = PAPER_VARIANTS
+    #: Scale of the Sec. VIII data sets (1.0 -> paper millions become
+    #: thousands).
+    dataset_scale: float = 1.0
+    #: Base RNG seed; each density step derives its own stream.
+    seed: int = 7
+
+    def __post_init__(self):
+        if not self.density_steps:
+            raise ValueError("density_steps must not be empty")
+        if any(n <= 0 for n in self.density_steps):
+            raise ValueError("density steps must be positive")
+        if self.query_count <= 0 or self.point_query_count <= 0:
+            raise ValueError("query counts must be positive")
+
+    def with_overrides(self, **kwargs) -> "ExperimentConfig":
+        """A copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+
+#: Default configuration: nine densities of 25k..225k elements — the
+#: paper's design at ~1/2000 scale, runs in minutes.
+DEFAULT_CONFIG = ExperimentConfig()
+
+#: The paper's 1/1000 scale (50k..450k); slower, for final numbers.
+FULL_CONFIG = ExperimentConfig(
+    density_steps=tuple(50_000 * i for i in range(1, 10)),
+    volume_side=52.0,
+)
+
+#: Tiny configuration used by the pytest-benchmark suite and CI: three
+#: densities, fewer queries, smaller Sec. VIII data sets.  Runs
+#: depth-matched (fanout 7) so the paper's tree-depth effects are
+#: visible even at 9k elements; the size/build figures force the full
+#: 4 K fanout internally regardless.
+SMALL_CONFIG = ExperimentConfig(
+    density_steps=(3_000, 6_000, 9_000),
+    volume_side=15.0,
+    query_count=30,
+    point_query_count=30,
+    dataset_scale=0.3,
+    node_fanout=7,
+)
+
+#: Depth-matched variant of the default: internal fanout lowered so the
+#: trees have the paper's 5-6 levels at 1/2000 element scale.  This is
+#: where the paper's 2-8x FLAT-vs-PR-Tree factors reappear.
+DEPTH_MATCHED_CONFIG = ExperimentConfig(node_fanout=9)

@@ -1,0 +1,69 @@
+"""Fig. 10 — Index build time vs data-set size.
+
+Paper ordering: Hilbert fastest, then STR, FLAT slightly slower than
+STR (it adds the neighbor-finding pass), PR-Tree much slower (sorts the
+data at least six times).  FLAT's trend is linear.  We reproduce the
+same wall-clock measurement on our bulkloaders, with FLAT split into
+its partitioning and finding-neighbors phases exactly as the figure.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.sweeps import FLAT, cached_sweep
+
+EXPERIMENT_ID = "fig10"
+TITLE = "Index build time for data sets of increasing density (seconds)"
+
+
+def run(config: ExperimentConfig) -> ExperimentResult:
+    # Build/size figures always report the honest 4 K page layout, even
+    # when the query figures run depth-matched (lower fanout) trees.
+    from repro.storage.constants import NODE_FANOUT
+
+    config = config.with_overrides(node_fanout=NODE_FANOUT)
+    sweep = cached_sweep(config)
+    variants = list(config.variants)
+    headers = (
+        ["elements"]
+        + [f"{v} s" for v in variants]
+        + ["flat s", "flat partitioning s", "flat neighbors s"]
+    )
+    rows = []
+    for step in sweep.steps:
+        row = [step.n_elements]
+        for v in variants:
+            row.append(step.indexes[v].build_seconds)
+        flat_obs = step.indexes[FLAT]
+        row.append(flat_obs.build_seconds)
+        row.append(flat_obs.build_breakdown["partitioning"])
+        row.append(flat_obs.build_breakdown["finding_neighbors"])
+        rows.append(row)
+
+    first, last = rows[0], rows[-1]
+    col = {v: 1 + i for i, v in enumerate(variants)}
+    flat_col = 1 + len(variants)
+    n_ratio = last[0] / first[0]
+    checks = {
+        "flat costs more than str (the neighbor-finding pass)": last[flat_col]
+        > last[col["str"]],
+        "flat build trend is ~linear in elements": last[flat_col] / first[flat_col]
+        < 3.0 * n_ratio,
+        "flat breakdown sums below total": last[flat_col]
+        >= last[flat_col + 1] + last[flat_col + 2] - 1e-9,
+    }
+    return ExperimentResult(
+        EXPERIMENT_ID,
+        TITLE,
+        headers,
+        rows,
+        notes=(
+            "Paper: Hilbert < STR <= FLAT << PR-Tree (their PR-Tree sorts "
+            "the data at least six times).  Our PR-Tree bulkloader is a "
+            "vectorized argpartition implementation, so it does not show "
+            "the paper's slowdown; FLAT's extra cost over STR — the "
+            "neighbor-finding pass — and its linear trend reproduce."
+        ),
+        checks=checks,
+    )

@@ -1,0 +1,79 @@
+"""Fig. 11 — Index size breakdown vs density, FLAT vs PR-Tree.
+
+Paper: FLAT's object pages equal the R-Tree's leaf pages byte for byte
+(same 85-element packing); FLAT is bigger in total only by the metadata
+stored in the seed tree; both grow linearly with element count.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.sweeps import FLAT, cached_sweep
+
+EXPERIMENT_ID = "fig11"
+TITLE = "Index size for data sets of increasing density (MB)"
+
+
+def run(config: ExperimentConfig) -> ExperimentResult:
+    # Size figures always report the honest 4 K page layout, even when
+    # the query figures run depth-matched (lower fanout) trees.
+    from repro.storage.constants import NODE_FANOUT
+
+    config = config.with_overrides(node_fanout=NODE_FANOUT)
+    sweep = cached_sweep(config)
+    headers = [
+        "elements",
+        "flat object MB",
+        "flat seed+metadata MB",
+        "flat total MB",
+        "prtree leaf MB",
+        "prtree non-leaf MB",
+        "prtree total MB",
+    ]
+    rows = []
+    for step in sweep.steps:
+        flat_obs = step.indexes[FLAT]
+        pr_obs = step.indexes["prtree"]
+        rows.append(
+            [
+                step.n_elements,
+                flat_obs.payload_bytes() / 1e6,
+                flat_obs.hierarchy_bytes() / 1e6,
+                flat_obs.total_bytes / 1e6,
+                pr_obs.payload_bytes() / 1e6,
+                pr_obs.hierarchy_bytes() / 1e6,
+                pr_obs.total_bytes / 1e6,
+            ]
+        )
+
+    first, last = rows[0], rows[-1]
+    n_ratio = last[0] / first[0]
+    checks = {
+        "flat hierarchy (seed+metadata) exceeds prtree non-leaf bytes": all(
+            row[2] > row[5] for row in rows
+        ),
+        "flat total at least 90% of prtree total": all(
+            row[3] >= 0.90 * row[6] for row in rows
+        ),
+        "object pages track prtree leaf pages closely (<15%)": all(
+            abs(row[1] - row[4]) / row[4] < 0.15 for row in rows
+        ),
+        "flat size grows ~linearly with elements": 0.5 * n_ratio
+        <= last[3] / first[3]
+        <= 1.5 * n_ratio,
+    }
+    return ExperimentResult(
+        EXPERIMENT_ID,
+        TITLE,
+        headers,
+        rows,
+        notes=(
+            "Paper: total index size depends predominantly on the element "
+            "count; FLAT's overhead is the metadata in the seed tree.  In "
+            "this implementation the PR-Tree's priority leaves pack a few "
+            "percent looser than STR tiles, which offsets part of FLAT's "
+            "metadata overhead in the totals."
+        ),
+        checks=checks,
+    )

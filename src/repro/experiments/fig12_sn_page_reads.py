@@ -1,0 +1,15 @@
+"""Fig. 12 — Total page reads executing the SN benchmark.
+
+Paper: FLAT reads up to 8x fewer pages than the PR-Tree (the best
+R-Tree) at 450 M elements; STR beats Hilbert, PR-Tree beats both.
+"""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.usecase import total_page_reads
+
+EXPERIMENT_ID = "fig12"
+TITLE = "Total page reads executing the SN benchmark"
+
+
+def run(config: ExperimentConfig):
+    return total_page_reads(config, "sn_run", EXPERIMENT_ID, TITLE)

@@ -1,0 +1,15 @@
+"""Fig. 13 — Execution time of the SN benchmark.
+
+Paper: the time curves mirror Fig. 12's page-read curves because query
+execution is I/O bound; FLAT is fastest and scales linearly.
+"""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.usecase import execution_time
+
+EXPERIMENT_ID = "fig13"
+TITLE = "Execution time for the SN benchmark (simulated I/O + CPU)"
+
+
+def run(config: ExperimentConfig):
+    return execution_time(config, "sn_run", EXPERIMENT_ID, TITLE)

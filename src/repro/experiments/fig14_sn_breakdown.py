@@ -1,0 +1,16 @@
+"""Fig. 14 — SN data-retrieved breakdown: FLAT vs PR-Tree.
+
+Paper: FLAT's seed-tree reads stay constant while metadata+object reads
+track the result size; the PR-Tree's non-leaf/leaf ratio grows from 2
+to 2.8 with density — the overlap diagnosis.
+"""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.usecase import breakdown
+
+EXPERIMENT_ID = "fig14"
+TITLE = "Breakdown of data retrieved for the SN benchmark (MB)"
+
+
+def run(config: ExperimentConfig):
+    return breakdown(config, "sn_run", EXPERIMENT_ID, TITLE)

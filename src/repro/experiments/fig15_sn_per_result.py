@@ -1,0 +1,16 @@
+"""Fig. 15 — Page reads per result element, SN benchmark, all indexes.
+
+Paper: FLAT's per-result cost *decreases* with density (the seed cost
+amortizes over bigger results) while every R-Tree's cost increases
+(overlap grows).
+"""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.usecase import per_result
+
+EXPERIMENT_ID = "fig15"
+TITLE = "Pages read per result element for the SN benchmark"
+
+
+def run(config: ExperimentConfig):
+    return per_result(config, "sn_run", EXPERIMENT_ID, TITLE)

@@ -1,0 +1,15 @@
+"""Fig. 16 — Total page reads executing the LSS benchmark.
+
+Paper: FLAT still wins (no hierarchical subtree retrieval) but by a
+smaller factor than SN, since overlap matters less for large queries.
+"""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.usecase import total_page_reads
+
+EXPERIMENT_ID = "fig16"
+TITLE = "Total page reads executing the LSS benchmark"
+
+
+def run(config: ExperimentConfig):
+    return total_page_reads(config, "lss_run", EXPERIMENT_ID, TITLE)

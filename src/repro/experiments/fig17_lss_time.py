@@ -1,0 +1,11 @@
+"""Fig. 17 — Execution time of the LSS benchmark (mirrors Fig. 16)."""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.usecase import execution_time
+
+EXPERIMENT_ID = "fig17"
+TITLE = "Execution time for the LSS benchmark (simulated I/O + CPU)"
+
+
+def run(config: ExperimentConfig):
+    return execution_time(config, "lss_run", EXPERIMENT_ID, TITLE)

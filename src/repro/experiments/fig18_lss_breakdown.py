@@ -1,0 +1,16 @@
+"""Fig. 18 — LSS data-retrieved breakdown: FLAT vs PR-Tree.
+
+Paper: for large queries the payload (leaf/object) share dominates for
+both approaches, but the PR-Tree's non-leaf overhead is still up to 3x
+FLAT's seed+metadata overhead at the densest step.
+"""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.usecase import breakdown
+
+EXPERIMENT_ID = "fig18"
+TITLE = "Breakdown of data retrieved for the LSS benchmark (MB)"
+
+
+def run(config: ExperimentConfig):
+    return breakdown(config, "lss_run", EXPERIMENT_ID, TITLE)

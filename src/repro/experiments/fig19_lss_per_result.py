@@ -1,0 +1,16 @@
+"""Fig. 19 — Page reads per result element, LSS benchmark.
+
+Paper: as in Fig. 15, FLAT's per-result cost falls with density while
+the R-Trees' grows — but the gap is smaller than for SN because the
+R-Trees' overlap overhead amortizes over the big result sets.
+"""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.usecase import per_result
+
+EXPERIMENT_ID = "fig19"
+TITLE = "Pages read per result element for the LSS benchmark"
+
+
+def run(config: ExperimentConfig):
+    return per_result(config, "lss_run", EXPERIMENT_ID, TITLE)

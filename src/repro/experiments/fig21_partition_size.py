@@ -1,0 +1,68 @@
+"""Fig. 21 — Average partition volume vs average neighbor pointers.
+
+Paper protocol: uniform random elements in an 8 mm^3 volume; compute
+the partitions, then *incrementally increase the partition size* and
+measure the average pointer count.  We inflate every partition MBR
+about its center by a growing factor and re-run neighbor discovery.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.neighbors import compute_neighbors
+from repro.core.partition import compute_partitions
+from repro.data.uniform import SYNTHETIC_VOLUME_SIDE_UM, uniform_cubes
+from repro.geometry.mbr import mbr_center, mbr_volume
+from repro.experiments.base import ExperimentResult
+from repro.experiments.config import ExperimentConfig
+
+EXPERIMENT_ID = "fig21"
+TITLE = "Average partition volume vs average neighbor pointers"
+
+#: Inflation factors applied to the partition boxes.
+INFLATION_FACTORS = (1.0, 1.05, 1.1, 1.15, 1.2, 1.25)
+
+
+def run(config: ExperimentConfig) -> ExperimentResult:
+    # Scale the paper's 10M-element uniform set with the density sweep.
+    n = max(config.density_steps)
+    mbrs = uniform_cubes(n, edge=2.6, side=SYNTHETIC_VOLUME_SIDE_UM, seed=config.seed)
+    partitions = compute_partitions(mbrs, 85)
+
+    base_boxes = np.stack([p.partition_mbr for p in partitions])
+    centers = mbr_center(base_boxes)
+    half = (base_boxes[:, 3:] - base_boxes[:, :3]) * 0.5
+
+    headers = ["inflation", "avg partition volume", "avg neighbor pointers"]
+    rows = []
+    for factor in INFLATION_FACTORS:
+        inflated = np.concatenate(
+            [centers - half * factor, centers + half * factor], axis=1
+        )
+        for p, box in zip(partitions, inflated):
+            p.partition_mbr = box
+        compute_neighbors(partitions)
+        avg_pointers = float(np.mean([len(p.neighbors) for p in partitions]))
+        rows.append([factor, float(mbr_volume(inflated).mean()), avg_pointers])
+
+    pointer_series = [row[2] for row in rows]
+    checks = {
+        "avg pointers grow monotonically with partition volume": all(
+            a <= b + 1e-9 for a, b in zip(pointer_series, pointer_series[1:])
+        ),
+        "largest partitions have strictly more pointers than smallest": (
+            pointer_series[-1] > pointer_series[0]
+        ),
+    }
+    return ExperimentResult(
+        EXPERIMENT_ID,
+        TITLE,
+        headers,
+        rows,
+        notes=(
+            "Paper: the major factor driving the pointer count is the "
+            "partition size; pointers grow with average partition volume."
+        ),
+        checks=checks,
+    )

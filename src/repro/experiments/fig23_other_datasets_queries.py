@@ -1,0 +1,73 @@
+"""Fig. 23 (table) — Query time and speed-up on the other data sets.
+
+Paper: FLAT speeds queries up by 21–58 % on the small-volume set and
+6–44 % on the large-volume set; less speed-up for large queries because
+overlap matters less there.
+"""
+
+from __future__ import annotations
+
+from repro.storage.diskmodel import DiskModel
+from repro.experiments.base import ExperimentResult
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.other_datasets import cached_datasets
+
+EXPERIMENT_ID = "fig23"
+TITLE = "Execution time and speed-up of small/large volume queries"
+
+
+def _speedup(flat_run, pr_run, disk) -> float:
+    flat_t = flat_run.simulated_seconds(disk)
+    pr_t = pr_run.simulated_seconds(disk)
+    return 100.0 * (pr_t - flat_t) / pr_t if pr_t > 0 else 0.0
+
+
+def run(config: ExperimentConfig) -> ExperimentResult:
+    observations = cached_datasets(config)
+    disk = DiskModel()
+    headers = [
+        "dataset",
+        "small flat s",
+        "small prtree s",
+        "small speedup %",
+        "large flat s",
+        "large prtree s",
+        "large speedup %",
+    ]
+    rows = []
+    for obs in observations:
+        rows.append(
+            [
+                obs.name,
+                obs.flat_small.simulated_seconds(disk),
+                obs.prtree_small.simulated_seconds(disk),
+                _speedup(obs.flat_small, obs.prtree_small, disk),
+                obs.flat_large.simulated_seconds(disk),
+                obs.prtree_large.simulated_seconds(disk),
+                _speedup(obs.flat_large, obs.prtree_large, disk),
+            ]
+        )
+
+    checks = {
+        "flat speeds up small-volume queries on average": (
+            sum(row[3] for row in rows) > 0
+        ),
+        "average small-query speedup exceeds large-query speedup": (
+            sum(row[3] for row in rows) > sum(row[6] for row in rows)
+        ),
+    }
+    return ExperimentResult(
+        EXPERIMENT_ID,
+        TITLE,
+        headers,
+        rows,
+        notes=(
+            "Paper (Fig. 23): 21-58% speed-up for small volume queries, "
+            "6-44% for large — big queries suffer less from overlap.  "
+            "Per-data-set positive speed-ups reproduce with paper-depth "
+            "trees (depth-matched configurations); with full 4K fanout at "
+            "reduced scale the tree hierarchy is nearly free and FLAT's "
+            "crawl overhead can exceed it on the most compact data sets."
+        ),
+        checks=checks,
+    )

@@ -1,0 +1,96 @@
+"""Shared machinery for the Sec. VIII "other data sets" tables.
+
+Builds FLAT and the PR-Tree on the five named data sets (n-body
+clusters and surface meshes) once per configuration and derives both
+Fig. 22 (index size / build time) and Fig. 23 (query time / speed-up).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core import FLATIndex
+from repro.data.registry import DATASET_ORDER, dataset_mbrs
+from repro.geometry.mbr import mbr_union_many
+from repro.query.benchmarks import BenchmarkSpec
+from repro.query.executor import QueryRunResult, run_queries
+from repro.rtree import bulkload_rtree
+from repro.storage.pagestore import PageStore
+from repro.experiments.config import ExperimentConfig
+
+#: Scaled query fractions for the "small" / "large volume queries" sets
+#: (the paper uses the SN and LSS fractions on these data sets too).
+SMALL_QUERY_FRACTION = 5e-6
+LARGE_QUERY_FRACTION = 5e-3
+
+
+@dataclass
+class DatasetObservation:
+    """FLAT-vs-PR-Tree measurements on one Sec. VIII data set."""
+
+    name: str
+    n_elements: int
+    flat_size_bytes: int
+    prtree_size_bytes: int
+    flat_build_seconds: float
+    prtree_build_seconds: float
+    flat_small: QueryRunResult
+    prtree_small: QueryRunResult
+    flat_large: QueryRunResult
+    prtree_large: QueryRunResult
+
+
+def measure_dataset(
+    name: str, config: ExperimentConfig, query_count: int | None = None
+) -> DatasetObservation:
+    """Build both indexes on the named data set and run both query sets."""
+    mbrs = dataset_mbrs(name, scale=config.dataset_scale, seed=config.seed)
+    space = mbr_union_many(mbrs)
+    count = query_count or config.query_count
+    small_spec = BenchmarkSpec("small", SMALL_QUERY_FRACTION, count)
+    large_spec = BenchmarkSpec("large", LARGE_QUERY_FRACTION, count)
+    small_queries = small_spec.queries(space, seed=config.seed + 11)
+    large_queries = large_spec.queries(space, seed=config.seed + 12)
+
+    flat_store = PageStore()
+    t0 = time.perf_counter()
+    flat = FLATIndex.build(
+        flat_store, mbrs, space_mbr=space, seed_fanout=config.node_fanout
+    )
+    flat_build = time.perf_counter() - t0
+
+    pr_store = PageStore()
+    t0 = time.perf_counter()
+    prtree = bulkload_rtree(pr_store, mbrs, "prtree", fanout=config.node_fanout)
+    pr_build = time.perf_counter() - t0
+
+    return DatasetObservation(
+        name=name,
+        n_elements=len(mbrs),
+        flat_size_bytes=flat_store.size_bytes,
+        prtree_size_bytes=pr_store.size_bytes,
+        flat_build_seconds=flat_build,
+        prtree_build_seconds=pr_build,
+        flat_small=run_queries(flat, flat_store, small_queries, "flat"),
+        prtree_small=run_queries(prtree, pr_store, small_queries, "prtree"),
+        flat_large=run_queries(flat, flat_store, large_queries, "flat"),
+        prtree_large=run_queries(prtree, pr_store, large_queries, "prtree"),
+    )
+
+
+_DATASET_CACHE: dict = {}
+
+
+def cached_datasets(config: ExperimentConfig) -> list:
+    """Memoized measurements for all five data sets."""
+    key = (config.dataset_scale, config.query_count, config.node_fanout, config.seed)
+    if key not in _DATASET_CACHE:
+        _DATASET_CACHE[key] = [
+            measure_dataset(name, config) for name in DATASET_ORDER
+        ]
+    return _DATASET_CACHE[key]
+
+
+def clear_dataset_cache() -> None:
+    _DATASET_CACHE.clear()

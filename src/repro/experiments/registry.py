@@ -1,0 +1,91 @@
+"""Registry mapping experiment ids to their run functions."""
+
+from __future__ import annotations
+
+from repro.experiments import (
+    fig02_point_overlap,
+    fig03_sn_per_result_prtree,
+    fig04_lss_bytes,
+    fig10_build_time,
+    fig11_index_size,
+    fig12_sn_page_reads,
+    fig13_sn_time,
+    fig14_sn_breakdown,
+    fig15_sn_per_result,
+    fig16_lss_page_reads,
+    fig17_lss_time,
+    fig18_lss_breakdown,
+    fig19_lss_per_result,
+    fig20_pointer_distribution,
+    fig21_partition_size,
+    fig22_other_datasets_index,
+    fig23_other_datasets_queries,
+    sec7e2_overheads,
+    sec7e_element_effects,
+)
+
+#: experiment id -> (title, run function taking an ExperimentConfig).
+EXPERIMENTS = {
+    fig02_point_overlap.EXPERIMENT_ID: (
+        fig02_point_overlap.TITLE,
+        fig02_point_overlap.run,
+    ),
+    fig03_sn_per_result_prtree.EXPERIMENT_ID: (
+        fig03_sn_per_result_prtree.TITLE,
+        fig03_sn_per_result_prtree.run,
+    ),
+    fig04_lss_bytes.EXPERIMENT_ID: (fig04_lss_bytes.TITLE, fig04_lss_bytes.run),
+    fig10_build_time.EXPERIMENT_ID: (fig10_build_time.TITLE, fig10_build_time.run),
+    fig11_index_size.EXPERIMENT_ID: (fig11_index_size.TITLE, fig11_index_size.run),
+    fig12_sn_page_reads.EXPERIMENT_ID: (
+        fig12_sn_page_reads.TITLE,
+        fig12_sn_page_reads.run,
+    ),
+    fig13_sn_time.EXPERIMENT_ID: (fig13_sn_time.TITLE, fig13_sn_time.run),
+    fig14_sn_breakdown.EXPERIMENT_ID: (
+        fig14_sn_breakdown.TITLE,
+        fig14_sn_breakdown.run,
+    ),
+    fig15_sn_per_result.EXPERIMENT_ID: (
+        fig15_sn_per_result.TITLE,
+        fig15_sn_per_result.run,
+    ),
+    fig16_lss_page_reads.EXPERIMENT_ID: (
+        fig16_lss_page_reads.TITLE,
+        fig16_lss_page_reads.run,
+    ),
+    fig17_lss_time.EXPERIMENT_ID: (fig17_lss_time.TITLE, fig17_lss_time.run),
+    fig18_lss_breakdown.EXPERIMENT_ID: (
+        fig18_lss_breakdown.TITLE,
+        fig18_lss_breakdown.run,
+    ),
+    fig19_lss_per_result.EXPERIMENT_ID: (
+        fig19_lss_per_result.TITLE,
+        fig19_lss_per_result.run,
+    ),
+    fig20_pointer_distribution.EXPERIMENT_ID: (
+        fig20_pointer_distribution.TITLE,
+        fig20_pointer_distribution.run,
+    ),
+    fig21_partition_size.EXPERIMENT_ID: (
+        fig21_partition_size.TITLE,
+        fig21_partition_size.run,
+    ),
+    sec7e_element_effects.EXPERIMENT_ID_VOLUME: (
+        sec7e_element_effects.TITLE_VOLUME,
+        sec7e_element_effects.run_element_volume,
+    ),
+    sec7e_element_effects.EXPERIMENT_ID_ASPECT: (
+        sec7e_element_effects.TITLE_ASPECT,
+        sec7e_element_effects.run_aspect_ratio,
+    ),
+    sec7e2_overheads.EXPERIMENT_ID: (sec7e2_overheads.TITLE, sec7e2_overheads.run),
+    fig22_other_datasets_index.EXPERIMENT_ID: (
+        fig22_other_datasets_index.TITLE,
+        fig22_other_datasets_index.run,
+    ),
+    fig23_other_datasets_queries.EXPERIMENT_ID: (
+        fig23_other_datasets_queries.TITLE,
+        fig23_other_datasets_queries.run,
+    ),
+}

@@ -1,0 +1,95 @@
+"""Experiment CLI: regenerate any paper figure/table as a printed table.
+
+Usage::
+
+    python -m repro.experiments                # every experiment, default scale
+    python -m repro.experiments --exp fig12    # one figure
+    python -m repro.experiments --small        # CI-sized configuration
+    python -m repro.experiments --full         # the 1/1000-scale sweep
+    python -m repro.experiments --csv out/     # also dump CSVs
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.experiments import registry
+from repro.experiments.config import (
+    DEFAULT_CONFIG,
+    DEPTH_MATCHED_CONFIG,
+    FULL_CONFIG,
+    SMALL_CONFIG,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the FLAT paper's figures and tables.",
+    )
+    parser.add_argument(
+        "--exp",
+        action="append",
+        choices=sorted(registry.EXPERIMENTS),
+        help="experiment id(s) to run; default: all",
+    )
+    scale = parser.add_mutually_exclusive_group()
+    scale.add_argument(
+        "--small", action="store_true", help="CI-sized configuration (seconds)"
+    )
+    scale.add_argument(
+        "--full", action="store_true", help="1/1000-scale paper sweep (slow)"
+    )
+    scale.add_argument(
+        "--depth-matched",
+        action="store_true",
+        help="default scale with paper-depth trees (internal fanout 9)",
+    )
+    parser.add_argument(
+        "--csv", metavar="DIR", help="also write one CSV per experiment into DIR"
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list experiment ids and exit"
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list:
+        for experiment_id, (title, _fn) in sorted(registry.EXPERIMENTS.items()):
+            print(f"{experiment_id:10s} {title}")
+        return 0
+
+    if args.small:
+        config = SMALL_CONFIG
+    elif args.full:
+        config = FULL_CONFIG
+    elif args.depth_matched:
+        config = DEPTH_MATCHED_CONFIG
+    else:
+        config = DEFAULT_CONFIG
+
+    ids = args.exp or sorted(registry.EXPERIMENTS)
+    failures = 0
+    for experiment_id in ids:
+        _title, fn = registry.EXPERIMENTS[experiment_id]
+        result = fn(config)
+        print(result.table())
+        if not result.all_checks_pass:
+            failures += 1
+        if args.csv:
+            os.makedirs(args.csv, exist_ok=True)
+            path = os.path.join(args.csv, f"{experiment_id}.csv")
+            with open(path, "w") as fh:
+                fh.write(result.csv())
+            print(f"wrote {path}\n")
+    if failures:
+        print(f"{failures} experiment(s) had failing shape checks", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,197 @@
+"""The shared density-sweep engine behind Figs. 2–20.
+
+One sweep builds, per density step, every R-Tree variant plus FLAT on
+the same microcircuit, then runs the point-query probe and the SN and
+LSS benchmarks on each.  All figure modules are thin views over the
+sweep result; the sweep itself is memoized per configuration so that
+regenerating several figures costs one pass.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core import FLATIndex
+from repro.data.microcircuit import build_microcircuit
+from repro.query.benchmarks import BenchmarkSpec
+from repro.query.executor import QueryRunResult, run_point_queries, run_queries
+from repro.query.workload import random_points
+from repro.rtree import bulkload_rtree
+from repro.storage.pagestore import PageStore
+from repro.storage.stats import (
+    CATEGORY_METADATA,
+    CATEGORY_OBJECT,
+    CATEGORY_RTREE_INTERNAL,
+    CATEGORY_RTREE_LEAF,
+    CATEGORY_SEED_INTERNAL,
+)
+from repro.experiments.config import ExperimentConfig
+
+#: Key under which FLAT appears next to the R-Tree variant names.
+FLAT = "flat"
+
+
+@dataclass
+class IndexObservation:
+    """Everything measured for one index at one density step."""
+
+    name: str
+    build_seconds: float
+    #: FLAT only: Fig. 10's phase breakdown.
+    build_breakdown: dict = field(default_factory=dict)
+    bytes_by_category: dict = field(default_factory=dict)
+    height: int = 0
+    point_run: QueryRunResult | None = None
+    sn_run: QueryRunResult | None = None
+    lss_run: QueryRunResult | None = None
+    #: FLAT only: per-partition neighbor pointer counts (Fig. 20).
+    pointer_counts: np.ndarray | None = None
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.bytes_by_category.values())
+
+    def payload_bytes(self) -> int:
+        """Leaf/object page bytes."""
+        return self.bytes_by_category.get(
+            CATEGORY_RTREE_LEAF, 0
+        ) + self.bytes_by_category.get(CATEGORY_OBJECT, 0)
+
+    def hierarchy_bytes(self) -> int:
+        """Non-leaf / seed+metadata bytes."""
+        return (
+            self.bytes_by_category.get(CATEGORY_RTREE_INTERNAL, 0)
+            + self.bytes_by_category.get(CATEGORY_SEED_INTERNAL, 0)
+            + self.bytes_by_category.get(CATEGORY_METADATA, 0)
+        )
+
+
+@dataclass
+class DensityObservation:
+    """All indexes measured at one density step."""
+
+    n_elements: int
+    indexes: dict
+
+
+@dataclass
+class SweepResult:
+    """The full density sweep."""
+
+    config: ExperimentConfig
+    steps: list
+
+    def series(self, index_name: str):
+        """Yield ``(n_elements, IndexObservation)`` for one index."""
+        for step in self.steps:
+            yield step.n_elements, step.indexes[index_name]
+
+    @property
+    def index_names(self):
+        return list(self.steps[0].indexes)
+
+
+def _measure_index(name, index, store, config, space, sn_spec, lss_spec, seed):
+    points = random_points(space, config.point_query_count, seed=seed + 101)
+    observation = IndexObservation(
+        name=name,
+        build_seconds=0.0,
+        bytes_by_category={
+            c: store.pages_in(c) * 4096
+            for c in (
+                CATEGORY_OBJECT,
+                CATEGORY_METADATA,
+                CATEGORY_SEED_INTERNAL,
+                CATEGORY_RTREE_LEAF,
+                CATEGORY_RTREE_INTERNAL,
+            )
+            if store.pages_in(c)
+        },
+    )
+    observation.point_run = run_point_queries(index, store, points, name)
+    observation.sn_run = run_queries(
+        index, store, sn_spec.queries(space, seed=seed + 202), name
+    )
+    observation.lss_run = run_queries(
+        index, store, lss_spec.queries(space, seed=seed + 303), name
+    )
+    return observation
+
+
+def run_density_sweep(config: ExperimentConfig) -> SweepResult:
+    """Build and benchmark every index at every density step."""
+    sn_spec = BenchmarkSpec("SN", config.sn_fraction, config.query_count)
+    lss_spec = BenchmarkSpec("LSS", config.lss_fraction, config.query_count)
+
+    steps = []
+    for step_index, n_elements in enumerate(config.density_steps):
+        seed = config.seed + step_index
+        circuit = build_microcircuit(
+            n_elements, side=config.volume_side, seed=seed
+        )
+        mbrs = circuit.mbrs()
+        space = circuit.space_mbr
+        indexes = {}
+
+        for variant in config.variants:
+            store = PageStore()
+            t0 = time.perf_counter()
+            tree = bulkload_rtree(store, mbrs, variant, fanout=config.node_fanout)
+            build_seconds = time.perf_counter() - t0
+            obs = _measure_index(
+                variant, tree, store, config, space, sn_spec, lss_spec, seed
+            )
+            obs.build_seconds = build_seconds
+            obs.height = tree.height + 1  # pages on a root-to-leaf path
+            indexes[variant] = obs
+
+        store = PageStore()
+        t0 = time.perf_counter()
+        flat = FLATIndex.build(
+            store, mbrs, space_mbr=space, seed_fanout=config.node_fanout
+        )
+        build_seconds = time.perf_counter() - t0
+        obs = _measure_index(
+            FLAT, flat, store, config, space, sn_spec, lss_spec, seed
+        )
+        obs.build_seconds = build_seconds
+        obs.height = flat.seed_index.height + 1
+        obs.build_breakdown = {
+            "partitioning": flat.build_report.partitioning_seconds,
+            "finding_neighbors": flat.build_report.finding_neighbors_seconds,
+            "packing": flat.build_report.packing_seconds,
+        }
+        obs.pointer_counts = flat.build_report.pointer_counts
+        indexes[FLAT] = obs
+
+        steps.append(DensityObservation(n_elements=n_elements, indexes=indexes))
+    return SweepResult(config=config, steps=steps)
+
+
+_SWEEP_CACHE: dict = {}
+
+
+def cached_sweep(config: ExperimentConfig) -> SweepResult:
+    """Memoized :func:`run_density_sweep` (figures share one sweep)."""
+    key = (
+        config.density_steps,
+        config.volume_side,
+        config.sn_fraction,
+        config.lss_fraction,
+        config.query_count,
+        config.point_query_count,
+        config.variants,
+        config.node_fanout,
+        config.seed,
+    )
+    if key not in _SWEEP_CACHE:
+        _SWEEP_CACHE[key] = run_density_sweep(config)
+    return _SWEEP_CACHE[key]
+
+
+def clear_sweep_cache() -> None:
+    """Drop memoized sweeps (tests use this to control memory)."""
+    _SWEEP_CACHE.clear()

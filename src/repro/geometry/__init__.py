@@ -1,0 +1,74 @@
+"""Geometry kernel: 3-D minimum bounding rectangles and spatial elements.
+
+Everything in this package operates on plain NumPy arrays for speed.
+The canonical MBR representation is a float64 array of shape ``(6,)``
+laid out as ``[xmin, ymin, zmin, xmax, ymax, zmax]``; batches are
+``(N, 6)`` arrays.  The :class:`~repro.geometry.mbr.MBR` class is a thin
+convenience wrapper used at API boundaries.
+"""
+
+from repro.geometry.mbr import (
+    DIMS,
+    MBR,
+    mbr_area_surface,
+    mbr_center,
+    mbr_contains_mbr,
+    mbr_contains_point,
+    mbr_empty,
+    mbr_from_points,
+    mbr_intersection,
+    mbr_intersects,
+    mbr_margin,
+    mbr_overlap_volume,
+    mbr_union,
+    mbr_union_many,
+    mbr_volume,
+    validate_mbrs,
+)
+from repro.geometry.shapes import (
+    Box,
+    Cylinder,
+    Sphere,
+    Triangle,
+    boxes_from_centers,
+    cylinders_to_mbrs,
+    spheres_to_mbrs,
+    triangles_to_mbrs,
+)
+from repro.geometry.intersect import (
+    boxes_contained_in_box,
+    boxes_intersect_box,
+    boxes_intersect_point,
+    pairwise_intersects,
+)
+
+__all__ = [
+    "DIMS",
+    "MBR",
+    "Box",
+    "Cylinder",
+    "Sphere",
+    "Triangle",
+    "boxes_contained_in_box",
+    "boxes_from_centers",
+    "boxes_intersect_box",
+    "boxes_intersect_point",
+    "cylinders_to_mbrs",
+    "mbr_area_surface",
+    "mbr_center",
+    "mbr_contains_mbr",
+    "mbr_contains_point",
+    "mbr_empty",
+    "mbr_from_points",
+    "mbr_intersection",
+    "mbr_intersects",
+    "mbr_margin",
+    "mbr_overlap_volume",
+    "mbr_union",
+    "mbr_union_many",
+    "mbr_volume",
+    "pairwise_intersects",
+    "spheres_to_mbrs",
+    "triangles_to_mbrs",
+    "validate_mbrs",
+]

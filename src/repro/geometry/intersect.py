@@ -1,0 +1,54 @@
+"""Vectorized intersection predicates used on query hot paths.
+
+Both FLAT and the R-Tree baselines test "does this stored MBR intersect
+the query box?" for every candidate on a fetched page (Sec. IV), so
+these predicates are the single most executed code in the library.  They
+take an ``(N, 6)`` batch plus one query box and return boolean masks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.mbr import DIMS
+
+
+def boxes_intersect_box(mbrs: np.ndarray, query: np.ndarray) -> np.ndarray:
+    """Mask of batch MBRs that intersect the ``(6,)`` query box (closed)."""
+    mbrs = np.asarray(mbrs, dtype=np.float64)
+    query = np.asarray(query, dtype=np.float64)
+    return np.all(
+        (mbrs[:, :DIMS] <= query[DIMS:]) & (query[:DIMS] <= mbrs[:, DIMS:]), axis=1
+    )
+
+
+def boxes_contained_in_box(mbrs: np.ndarray, query: np.ndarray) -> np.ndarray:
+    """Mask of batch MBRs fully contained in the query box."""
+    mbrs = np.asarray(mbrs, dtype=np.float64)
+    query = np.asarray(query, dtype=np.float64)
+    return np.all(
+        (query[:DIMS] <= mbrs[:, :DIMS]) & (mbrs[:, DIMS:] <= query[DIMS:]), axis=1
+    )
+
+
+def boxes_intersect_point(mbrs: np.ndarray, point: np.ndarray) -> np.ndarray:
+    """Mask of batch MBRs containing the ``(3,)`` point (closed intervals)."""
+    mbrs = np.asarray(mbrs, dtype=np.float64)
+    point = np.asarray(point, dtype=np.float64)
+    return np.all((mbrs[:, :DIMS] <= point) & (point <= mbrs[:, DIMS:]), axis=1)
+
+
+def pairwise_intersects(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``(len(a), len(b))`` intersection matrix between two MBR batches.
+
+    Quadratic — intended for the neighbor-discovery unit tests and small
+    analysis jobs, not for index construction (which uses the temporary
+    R-Tree exactly as Algorithm 1 prescribes).
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    return np.all(
+        (a[:, None, :DIMS] <= b[None, :, DIMS:])
+        & (b[None, :, :DIMS] <= a[:, None, DIMS:]),
+        axis=2,
+    )

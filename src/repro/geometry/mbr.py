@@ -1,0 +1,243 @@
+"""Axis-aligned minimum bounding rectangles (MBRs) in three dimensions.
+
+The FLAT paper (Sec. IV) wraps every spatial element in an axis-aligned
+MBR and evaluates range queries purely on MBR intersection tests, so
+this module is the arithmetic core of the whole library.
+
+Array conventions
+-----------------
+A single MBR is a float64 array ``[xmin, ymin, zmin, xmax, ymax, zmax]``
+of shape ``(6,)``.  A batch of N MBRs is an ``(N, 6)`` array.  All batch
+functions are vectorized and never loop in Python.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Number of spatial dimensions.  The paper's data are 3-D; keeping this
+#: symbolic documents which ``3``\ s in the code are dimensionality.
+DIMS = 3
+
+
+class MBR:
+    """A single 3-D minimum bounding rectangle.
+
+    Thin, immutable wrapper over the canonical ``(6,)`` float64 array.
+    Used at public API boundaries; internal hot paths use raw arrays.
+
+    >>> MBR((0, 0, 0), (1, 2, 3)).volume()
+    6.0
+    """
+
+    __slots__ = ("_arr",)
+
+    def __init__(self, lo, hi):
+        arr = np.empty(2 * DIMS, dtype=np.float64)
+        arr[:DIMS] = lo
+        arr[DIMS:] = hi
+        if np.any(arr[:DIMS] > arr[DIMS:]):
+            raise ValueError(f"MBR lower corner exceeds upper corner: {arr}")
+        arr.setflags(write=False)
+        self._arr = arr
+
+    @classmethod
+    def from_array(cls, arr) -> "MBR":
+        """Wrap a ``(6,)`` array-like (validating the corner order)."""
+        arr = np.asarray(arr, dtype=np.float64)
+        if arr.shape != (2 * DIMS,):
+            raise ValueError(f"expected shape (6,), got {arr.shape}")
+        return cls(arr[:DIMS], arr[DIMS:])
+
+    @property
+    def lo(self) -> np.ndarray:
+        """Lower corner ``[xmin, ymin, zmin]``."""
+        return self._arr[:DIMS]
+
+    @property
+    def hi(self) -> np.ndarray:
+        """Upper corner ``[xmax, ymax, zmax]``."""
+        return self._arr[DIMS:]
+
+    @property
+    def array(self) -> np.ndarray:
+        """The underlying read-only ``(6,)`` array."""
+        return self._arr
+
+    def volume(self) -> float:
+        """Volume of the box (product of the three extents)."""
+        return float(mbr_volume(self._arr))
+
+    def center(self) -> np.ndarray:
+        """Geometric center of the box."""
+        return mbr_center(self._arr)
+
+    def extents(self) -> np.ndarray:
+        """Side lengths along each axis."""
+        return self.hi - self.lo
+
+    def intersects(self, other: "MBR") -> bool:
+        """Closed-interval intersection test (touching boxes intersect)."""
+        return bool(mbr_intersects(self._arr, other._arr))
+
+    def contains(self, other: "MBR") -> bool:
+        """True when *other* lies entirely inside this box."""
+        return bool(mbr_contains_mbr(self._arr, other._arr))
+
+    def contains_point(self, point) -> bool:
+        """True when *point* lies inside or on the boundary."""
+        return bool(mbr_contains_point(self._arr, np.asarray(point, dtype=np.float64)))
+
+    def union(self, other: "MBR") -> "MBR":
+        """Smallest box enclosing both boxes."""
+        return MBR.from_array(mbr_union(self._arr, other._arr))
+
+    def stretched_to_include(self, other: "MBR") -> "MBR":
+        """Alias of :meth:`union` named after Algorithm 1's stretch step."""
+        return self.union(other)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, MBR) and bool(np.array_equal(self._arr, other._arr))
+
+    def __hash__(self) -> int:
+        return hash(self._arr.tobytes())
+
+    def __repr__(self) -> str:
+        lo = ", ".join(f"{v:g}" for v in self.lo)
+        hi = ", ".join(f"{v:g}" for v in self.hi)
+        return f"MBR(({lo}), ({hi}))"
+
+
+def mbr_empty() -> np.ndarray:
+    """An 'impossible' MBR that acts as identity for :func:`mbr_union`."""
+    arr = np.empty(2 * DIMS, dtype=np.float64)
+    arr[:DIMS] = np.inf
+    arr[DIMS:] = -np.inf
+    return arr
+
+
+def mbr_from_points(points: np.ndarray) -> np.ndarray:
+    """Bounding box of an ``(N, 3)`` point cloud."""
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2 or points.shape[1] != DIMS or len(points) == 0:
+        raise ValueError(f"expected non-empty (N, 3) points, got {points.shape}")
+    return np.concatenate([points.min(axis=0), points.max(axis=0)])
+
+
+def mbr_volume(mbrs: np.ndarray) -> np.ndarray:
+    """Volume of one ``(6,)`` MBR or a batch ``(N, 6)``; empty boxes give 0."""
+    mbrs = np.asarray(mbrs, dtype=np.float64)
+    ext = np.maximum(mbrs[..., DIMS:] - mbrs[..., :DIMS], 0.0)
+    return ext.prod(axis=-1)
+
+
+def mbr_margin(mbrs: np.ndarray) -> np.ndarray:
+    """Sum of the edge lengths (the R*-tree 'margin' criterion)."""
+    mbrs = np.asarray(mbrs, dtype=np.float64)
+    ext = np.maximum(mbrs[..., DIMS:] - mbrs[..., :DIMS], 0.0)
+    return ext.sum(axis=-1)
+
+
+def mbr_area_surface(mbrs: np.ndarray) -> np.ndarray:
+    """Surface area of the box(es): ``2*(ab + bc + ca)``."""
+    mbrs = np.asarray(mbrs, dtype=np.float64)
+    ext = np.maximum(mbrs[..., DIMS:] - mbrs[..., :DIMS], 0.0)
+    a, b, c = ext[..., 0], ext[..., 1], ext[..., 2]
+    return 2.0 * (a * b + b * c + c * a)
+
+
+def mbr_center(mbrs: np.ndarray) -> np.ndarray:
+    """Center point(s) of one MBR or a batch."""
+    mbrs = np.asarray(mbrs, dtype=np.float64)
+    return (mbrs[..., :DIMS] + mbrs[..., DIMS:]) * 0.5
+
+
+def mbr_intersects(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Closed-interval intersection of ``a`` and ``b`` (broadcasting).
+
+    Touching boxes (shared face/edge/corner) count as intersecting, which
+    is what makes Algorithm 1's gap-free partitions yield a connected
+    neighbor graph.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    return np.all(
+        (a[..., :DIMS] <= b[..., DIMS:]) & (b[..., :DIMS] <= a[..., DIMS:]), axis=-1
+    )
+
+
+def mbr_contains_mbr(outer: np.ndarray, inner: np.ndarray) -> np.ndarray:
+    """True where *outer* fully contains *inner* (broadcasting)."""
+    outer = np.asarray(outer, dtype=np.float64)
+    inner = np.asarray(inner, dtype=np.float64)
+    return np.all(
+        (outer[..., :DIMS] <= inner[..., :DIMS])
+        & (inner[..., DIMS:] <= outer[..., DIMS:]),
+        axis=-1,
+    )
+
+
+def mbr_contains_point(mbrs: np.ndarray, point: np.ndarray) -> np.ndarray:
+    """True where the box(es) contain *point* (closed intervals)."""
+    mbrs = np.asarray(mbrs, dtype=np.float64)
+    point = np.asarray(point, dtype=np.float64)
+    return np.all(
+        (mbrs[..., :DIMS] <= point) & (point <= mbrs[..., DIMS:]), axis=-1
+    )
+
+
+def mbr_union(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Smallest box enclosing both arguments (broadcasting)."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    return np.concatenate(
+        [
+            np.minimum(a[..., :DIMS], b[..., :DIMS]),
+            np.maximum(a[..., DIMS:], b[..., DIMS:]),
+        ],
+        axis=-1,
+    )
+
+
+def mbr_union_many(mbrs: np.ndarray) -> np.ndarray:
+    """Union of a non-empty ``(N, 6)`` batch into a single ``(6,)`` MBR."""
+    mbrs = np.asarray(mbrs, dtype=np.float64)
+    if mbrs.ndim != 2 or len(mbrs) == 0:
+        raise ValueError(f"expected non-empty (N, 6) batch, got {mbrs.shape}")
+    return np.concatenate([mbrs[:, :DIMS].min(axis=0), mbrs[:, DIMS:].max(axis=0)])
+
+
+def mbr_intersection(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Intersection box (may be inverted/empty when disjoint)."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    return np.concatenate(
+        [
+            np.maximum(a[..., :DIMS], b[..., :DIMS]),
+            np.minimum(a[..., DIMS:], b[..., DIMS:]),
+        ],
+        axis=-1,
+    )
+
+
+def mbr_overlap_volume(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Volume of the intersection of ``a`` and ``b`` (0 when disjoint)."""
+    return mbr_volume(mbr_intersection(a, b))
+
+
+def validate_mbrs(mbrs: np.ndarray) -> np.ndarray:
+    """Validate and canonicalize a batch of MBRs.
+
+    Returns a contiguous float64 ``(N, 6)`` array.  Raises ``ValueError``
+    on wrong shape, NaNs, or inverted corners — the storage layer relies
+    on every persisted MBR being well-formed.
+    """
+    arr = np.ascontiguousarray(mbrs, dtype=np.float64)
+    if arr.ndim != 2 or arr.shape[1] != 2 * DIMS:
+        raise ValueError(f"expected (N, 6) MBR batch, got shape {arr.shape}")
+    if np.isnan(arr).any():
+        raise ValueError("MBR batch contains NaN coordinates")
+    if np.any(arr[:, :DIMS] > arr[:, DIMS:]):
+        bad = int(np.argmax(np.any(arr[:, :DIMS] > arr[:, DIMS:], axis=1)))
+        raise ValueError(f"MBR {bad} has lower corner above upper corner: {arr[bad]}")
+    return arr

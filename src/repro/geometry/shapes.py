@@ -1,0 +1,135 @@
+"""Spatial element shapes and their MBR constructors.
+
+The Blue Brain microcircuits model neuron branches as cylinders (two end
+points plus a radius at each end, Sec. VII-A of the paper); surface-scan
+data sets are triangle meshes; the n-body data sets are points.  FLAT
+and the R-Tree baselines only ever see the elements' MBRs, so each shape
+provides an exact axis-aligned bounding box and the batch constructors
+below produce ``(N, 6)`` arrays directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.mbr import DIMS, MBR, mbr_from_points
+
+
+@dataclass(frozen=True)
+class Cylinder:
+    """A (truncated-cone) cylinder: the paper's neuron-branch element.
+
+    Matches the paper's description: "Each cylinder is described by two
+    end points and a radius for each endpoint."
+    """
+
+    p0: tuple
+    p1: tuple
+    r0: float
+    r1: float
+
+    def mbr(self) -> MBR:
+        """Exact AABB of the capsule enclosing the cylinder.
+
+        Sweeping a sphere of radius ``max(r0, r1)`` along the axis gives
+        a conservative, axis-exact box: for each axis, the extreme is an
+        endpoint coordinate offset by that endpoint's radius.
+        """
+        p0 = np.asarray(self.p0, dtype=np.float64)
+        p1 = np.asarray(self.p1, dtype=np.float64)
+        lo = np.minimum(p0 - self.r0, p1 - self.r1)
+        hi = np.maximum(p0 + self.r0, p1 + self.r1)
+        return MBR(lo, hi)
+
+
+@dataclass(frozen=True)
+class Triangle:
+    """A mesh triangle (9 floats, as the paper notes for object pages)."""
+
+    a: tuple
+    b: tuple
+    c: tuple
+
+    def mbr(self) -> MBR:
+        pts = np.array([self.a, self.b, self.c], dtype=np.float64)
+        return MBR.from_array(mbr_from_points(pts))
+
+
+@dataclass(frozen=True)
+class Sphere:
+    """A sphere; used for point-like n-body elements with softening radius."""
+
+    center: tuple
+    radius: float
+
+    def mbr(self) -> MBR:
+        c = np.asarray(self.center, dtype=np.float64)
+        return MBR(c - self.radius, c + self.radius)
+
+
+@dataclass(frozen=True)
+class Box:
+    """An axis-aligned box element (its MBR is itself)."""
+
+    lo: tuple
+    hi: tuple
+
+    def mbr(self) -> MBR:
+        return MBR(self.lo, self.hi)
+
+
+def cylinders_to_mbrs(
+    p0: np.ndarray, p1: np.ndarray, r0: np.ndarray, r1: np.ndarray
+) -> np.ndarray:
+    """Batch MBRs for N cylinders.
+
+    Parameters are ``(N, 3)`` endpoint arrays and ``(N,)`` radius arrays.
+    Returns an ``(N, 6)`` MBR batch.
+    """
+    p0 = np.asarray(p0, dtype=np.float64)
+    p1 = np.asarray(p1, dtype=np.float64)
+    r0 = np.asarray(r0, dtype=np.float64)[:, None]
+    r1 = np.asarray(r1, dtype=np.float64)[:, None]
+    if p0.shape != p1.shape or p0.ndim != 2 or p0.shape[1] != DIMS:
+        raise ValueError(f"expected (N, 3) endpoints, got {p0.shape} and {p1.shape}")
+    lo = np.minimum(p0 - r0, p1 - r1)
+    hi = np.maximum(p0 + r0, p1 + r1)
+    return np.concatenate([lo, hi], axis=1)
+
+
+def triangles_to_mbrs(vertices: np.ndarray) -> np.ndarray:
+    """Batch MBRs for N triangles given as an ``(N, 3, 3)`` vertex array."""
+    vertices = np.asarray(vertices, dtype=np.float64)
+    if vertices.ndim != 3 or vertices.shape[1:] != (3, DIMS):
+        raise ValueError(f"expected (N, 3, 3) vertices, got {vertices.shape}")
+    return np.concatenate([vertices.min(axis=1), vertices.max(axis=1)], axis=1)
+
+
+def spheres_to_mbrs(centers: np.ndarray, radii) -> np.ndarray:
+    """Batch MBRs for N spheres: ``(N, 3)`` centers and scalar or ``(N,)`` radii."""
+    centers = np.asarray(centers, dtype=np.float64)
+    if centers.ndim != 2 or centers.shape[1] != DIMS:
+        raise ValueError(f"expected (N, 3) centers, got {centers.shape}")
+    radii = np.broadcast_to(np.asarray(radii, dtype=np.float64), (len(centers),))
+    r = radii[:, None]
+    return np.concatenate([centers - r, centers + r], axis=1)
+
+
+def boxes_from_centers(centers: np.ndarray, extents: np.ndarray) -> np.ndarray:
+    """Batch MBRs for boxes given centers ``(N, 3)`` and full extents ``(N, 3)``.
+
+    Used by the Sec. VII-E synthetic studies, which vary element volume
+    and aspect ratio while keeping positions fixed.
+    """
+    centers = np.asarray(centers, dtype=np.float64)
+    extents = np.asarray(extents, dtype=np.float64)
+    if centers.shape != extents.shape or centers.ndim != 2 or centers.shape[1] != DIMS:
+        raise ValueError(
+            f"expected matching (N, 3) centers/extents, got {centers.shape} and {extents.shape}"
+        )
+    if np.any(extents < 0):
+        raise ValueError("extents must be non-negative")
+    half = extents * 0.5
+    return np.concatenate([centers - half, centers + half], axis=1)

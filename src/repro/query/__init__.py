@@ -1,0 +1,30 @@
+"""Query workloads and the cold-cache execution harness."""
+
+from repro.query.benchmarks import (
+    BenchmarkSpec,
+    PAPER_LSS_FRACTION,
+    PAPER_SN_FRACTION,
+    QUERY_COUNT,
+    SCALED_LSS_FRACTION,
+    SCALED_SN_FRACTION,
+    lss_benchmark,
+    sn_benchmark,
+)
+from repro.query.executor import QueryRunResult, run_point_queries, run_queries
+from repro.query.workload import random_points, random_range_queries
+
+__all__ = [
+    "BenchmarkSpec",
+    "PAPER_LSS_FRACTION",
+    "PAPER_SN_FRACTION",
+    "QUERY_COUNT",
+    "QueryRunResult",
+    "SCALED_LSS_FRACTION",
+    "SCALED_SN_FRACTION",
+    "lss_benchmark",
+    "random_points",
+    "random_range_queries",
+    "run_point_queries",
+    "run_queries",
+    "sn_benchmark",
+]

@@ -1,0 +1,125 @@
+"""Query execution harness: cold caches, per-category accounting.
+
+Runs a batch of range queries against any index exposing
+``range_query(box) -> element ids`` over a :class:`PageStore`, clearing
+the buffer before every query exactly as the paper does ("Before each
+query is executed, the OS caches and disk buffers are cleared").
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.storage.diskmodel import DiskModel
+from repro.storage.pagestore import PageStore
+from repro.storage.stats import (
+    CATEGORY_METADATA,
+    CATEGORY_OBJECT,
+    CATEGORY_RTREE_INTERNAL,
+    CATEGORY_RTREE_LEAF,
+    CATEGORY_SEED_INTERNAL,
+)
+
+
+@dataclass
+class QueryRunResult:
+    """Aggregated outcome of one benchmark run on one index."""
+
+    index_name: str
+    query_count: int = 0
+    result_elements: int = 0
+    reads_by_category: dict = field(default_factory=dict)
+    cpu_seconds: float = 0.0
+    #: Peak BFS bookkeeping bytes per query (FLAT only), for Sec. VII-E.2.
+    bookkeeping_bytes: list = field(default_factory=list)
+    per_query_reads: list = field(default_factory=list)
+    per_query_results: list = field(default_factory=list)
+
+    # -- totals ----------------------------------------------------------
+
+    @property
+    def total_page_reads(self) -> int:
+        return sum(self.reads_by_category.values())
+
+    def reads_in(self, *categories: str) -> int:
+        return sum(self.reads_by_category.get(c, 0) for c in categories)
+
+    @property
+    def pages_per_result(self) -> float:
+        """Page reads per result element (Figs. 3, 15, 19)."""
+        if self.result_elements == 0:
+            return float("nan")
+        return self.total_page_reads / self.result_elements
+
+    # -- derived breakdowns ------------------------------------------------
+
+    @property
+    def hierarchy_reads(self) -> int:
+        """Non-payload reads: R-Tree non-leaf or FLAT seed+metadata pages."""
+        return self.reads_in(
+            CATEGORY_RTREE_INTERNAL, CATEGORY_SEED_INTERNAL, CATEGORY_METADATA
+        )
+
+    @property
+    def payload_reads(self) -> int:
+        """Payload reads: R-Tree leaf or FLAT object pages."""
+        return self.reads_in(CATEGORY_RTREE_LEAF, CATEGORY_OBJECT)
+
+    def simulated_seconds(self, disk: DiskModel | None = None) -> float:
+        """End-to-end simulated time (I/O model + measured CPU)."""
+        disk = disk or DiskModel()
+        return disk.total_seconds(self.total_page_reads, self.cpu_seconds)
+
+
+def run_queries(
+    index,
+    store: PageStore,
+    queries: np.ndarray,
+    index_name: str = "",
+    clear_cache_between: bool = True,
+) -> QueryRunResult:
+    """Execute every query, cold-cached, and aggregate the accounting."""
+    queries = np.asarray(queries, dtype=np.float64)
+    if queries.ndim != 2 or queries.shape[1] != 6:
+        raise ValueError(f"expected (N, 6) query boxes, got {queries.shape}")
+    result = QueryRunResult(index_name=index_name or type(index).__name__)
+
+    for query in queries:
+        if clear_cache_between:
+            store.clear_cache()
+        before = store.stats.snapshot()
+        t0 = time.perf_counter()
+        hits = index.range_query(query)
+        result.cpu_seconds += time.perf_counter() - t0
+        delta = store.stats.diff(before)
+
+        result.query_count += 1
+        result.result_elements += len(hits)
+        result.per_query_reads.append(delta.total_reads)
+        result.per_query_results.append(len(hits))
+        for category, reads in delta.reads.items():
+            result.reads_by_category[category] = (
+                result.reads_by_category.get(category, 0) + reads
+            )
+        crawl = getattr(index, "last_crawl_stats", None)
+        if crawl is not None:
+            result.bookkeeping_bytes.append(crawl.bookkeeping_bytes)
+    return result
+
+
+def run_point_queries(
+    index,
+    store: PageStore,
+    points: np.ndarray,
+    index_name: str = "",
+    clear_cache_between: bool = True,
+) -> QueryRunResult:
+    """Point-query variant (Fig. 2's overlap probe)."""
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2 or points.shape[1] != 3:
+        raise ValueError(f"expected (N, 3) points, got {points.shape}")
+    queries = np.concatenate([points, points], axis=1)
+    return run_queries(index, store, queries, index_name, clear_cache_between)

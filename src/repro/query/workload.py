@@ -1,0 +1,62 @@
+"""Range-query workload generation.
+
+Both of the paper's micro-benchmarks draw queries with a *fixed volume*
+(a fraction of the data-set space) but random location and random
+aspect ratio (Sec. VII-A: "The location and aspect ratio of all queries
+is chosen at random").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def random_range_queries(
+    space_mbr: np.ndarray,
+    volume_fraction: float,
+    count: int,
+    seed: int = 0,
+    max_aspect: float = 4.0,
+) -> np.ndarray:
+    """*count* random query boxes of fixed volume inside *space_mbr*.
+
+    Each query's volume is ``volume_fraction`` of the space volume; its
+    per-axis extents are the cube root of that volume multiplied by
+    random aspect factors (log-uniform, product 1, each within
+    ``[1/max_aspect, max_aspect]``); its position is uniform such that
+    the box lies fully inside the space.
+    """
+    space_mbr = np.asarray(space_mbr, dtype=np.float64)
+    if not 0.0 < volume_fraction:
+        raise ValueError(f"volume_fraction must be positive, got {volume_fraction}")
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count}")
+    if max_aspect < 1.0:
+        raise ValueError(f"max_aspect must be >= 1, got {max_aspect}")
+    span = space_mbr[3:] - space_mbr[:3]
+    if np.any(span <= 0):
+        raise ValueError(f"space box must have positive extent, got {space_mbr}")
+
+    rng = np.random.default_rng(seed)
+    target_volume = volume_fraction * float(np.prod(span))
+    edge = target_volume ** (1.0 / 3.0)
+
+    # Log-uniform aspect factors normalized to product one.
+    log_f = rng.uniform(-np.log(max_aspect), np.log(max_aspect), size=(count, 3))
+    log_f -= log_f.mean(axis=1, keepdims=True)
+    extents = edge * np.exp(log_f)
+    # Clamp to the space span (can only occur for huge fractions), then
+    # restore the volume by scaling the other axes where possible.
+    extents = np.minimum(extents, span)
+
+    lo = space_mbr[:3] + rng.uniform(0.0, 1.0, size=(count, 3)) * (span - extents)
+    return np.concatenate([lo, lo + extents], axis=1)
+
+
+def random_points(space_mbr: np.ndarray, count: int, seed: int = 0) -> np.ndarray:
+    """*count* uniform random points inside the space (Fig. 2's probes)."""
+    space_mbr = np.asarray(space_mbr, dtype=np.float64)
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count}")
+    rng = np.random.default_rng(seed)
+    return rng.uniform(space_mbr[:3], space_mbr[3:], size=(count, 3))

@@ -1,0 +1,106 @@
+"""R-Tree substrate: the paper's baselines, faithfully bulkloaded.
+
+Variants (Sec. II / VII of the paper):
+
+* ``"str"`` — Sort-Tile-Recursive packing [16], the most commonly used
+  bulkloader.
+* ``"hilbert"`` — Hilbert-curve packing [12], the first bulkloader.
+* ``"prtree"`` — the Priority R-Tree [1], the paper's best baseline.
+* ``"tgs"`` — Top-down Greedy Split [7] (extension; not benchmarked in
+  the paper's main figures but discussed in related work).
+* ``"rstar"`` — the dynamic R*-Tree [3], built by repeated insertion
+  (extension; the paper dismisses it in favour of bulkloading).
+
+Use :func:`bulkload_rtree` to build any variant on a page store.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.storage.constants import NODE_FANOUT, OBJECT_PAGE_CAPACITY
+from repro.storage.pagestore import PageStore
+from repro.storage.stats import CATEGORY_RTREE_INTERNAL, CATEGORY_RTREE_LEAF
+from repro.rtree.hilbert import (
+    DEFAULT_BITS,
+    hilbert_decode,
+    hilbert_groups,
+    hilbert_keys,
+    hilbert_sort_order,
+    quantize_centers,
+)
+from repro.rtree.prtree import prtree_groups
+from repro.rtree.rstar import RStarTree
+from repro.rtree.rtree import RTree, build_rtree, pack_upper_levels
+from repro.rtree.str_bulk import str_groups, str_sort_order
+from repro.rtree.tgs import tgs_groups
+
+#: Bulkloaded variant name -> per-level grouping function.
+GROUPERS = {
+    "str": str_groups,
+    "hilbert": hilbert_groups,
+    "prtree": prtree_groups,
+    "tgs": tgs_groups,
+}
+
+#: Variants the paper benchmarks in its figures, in figure-legend order.
+PAPER_VARIANTS = ("hilbert", "str", "prtree")
+
+
+def bulkload_rtree(
+    store: PageStore,
+    element_mbrs: np.ndarray,
+    variant: str = "str",
+    leaf_category: str = CATEGORY_RTREE_LEAF,
+    internal_category: str = CATEGORY_RTREE_INTERNAL,
+    leaf_capacity: int = OBJECT_PAGE_CAPACITY,
+    fanout: int = NODE_FANOUT,
+) -> RTree:
+    """Bulkload an R-Tree of the given *variant* onto *store*.
+
+    ``variant="rstar"`` builds the dynamic R*-Tree by repeated insertion
+    and flushes it to disk; all other variants are true bulkloaders.
+    ``fanout`` caps the internal-node entry count (default: the 72
+    entries a 4 K page holds); experiments lower it to depth-match the
+    paper's trees at reduced data scale.
+    """
+    if variant == "rstar":
+        tree = RStarTree.from_mbrs(element_mbrs)
+        return tree.flush(store, leaf_category, internal_category)
+    try:
+        grouper = GROUPERS[variant]
+    except KeyError:
+        raise ValueError(
+            f"unknown R-Tree variant {variant!r}; expected one of "
+            f"{sorted(GROUPERS)} or 'rstar'"
+        ) from None
+    return build_rtree(
+        store,
+        element_mbrs,
+        grouper,
+        leaf_category,
+        internal_category,
+        leaf_capacity,
+        fanout,
+    )
+
+
+__all__ = [
+    "DEFAULT_BITS",
+    "GROUPERS",
+    "PAPER_VARIANTS",
+    "RStarTree",
+    "RTree",
+    "build_rtree",
+    "bulkload_rtree",
+    "hilbert_decode",
+    "hilbert_groups",
+    "hilbert_keys",
+    "hilbert_sort_order",
+    "pack_upper_levels",
+    "prtree_groups",
+    "quantize_centers",
+    "str_groups",
+    "str_sort_order",
+    "tgs_groups",
+]

@@ -1,0 +1,83 @@
+"""Sort-Tile-Recursive (STR) packing [16].
+
+STR tiles 3-D space by sorting on x-centers into vertical slabs, each
+slab on y-centers into beams, each beam on z-centers into final tiles of
+at most ``capacity`` elements.  The same routine packs upper tree levels
+(applied to node MBRs) and is reused verbatim by FLAT's Algorithm 1 —
+the paper's partitioning *is* STR ("We use an efficient algorithm based
+on STR").
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.geometry.mbr import mbr_center
+
+
+def str_run_sizes(n: int, capacity: int) -> tuple:
+    """Canonical STR slab/beam sizes for 100 % page fill.
+
+    With ``P = ceil(n/capacity)`` pages, STR cuts ``ceil(P^(1/3))``
+    vertical slabs of ``capacity * ceil(P^(2/3))`` elements each and,
+    inside a slab of ``m`` elements (``p = ceil(m/capacity)`` pages),
+    ``ceil(p^(1/2))`` beams of ``capacity * ceil(p^(1/2))`` elements.
+    All slab/beam sizes are multiples of the page capacity, so only the
+    very last tile of each beam can be underfilled — this is what gives
+    the paper's 100 % fill factor.
+    Returns ``(slab_size, beam_size_fn)``.
+    """
+    pages = math.ceil(n / capacity)
+    slabs = max(1, math.ceil(pages ** (1.0 / 3.0)))
+    slab_size = capacity * math.ceil(pages / slabs)
+
+    def beam_size(slab_n: int) -> int:
+        slab_pages = math.ceil(slab_n / capacity)
+        beams = max(1, math.ceil(math.sqrt(slab_pages)))
+        return capacity * math.ceil(slab_pages / beams)
+
+    return slab_size, beam_size
+
+
+def _runs(order: np.ndarray, run_size: int) -> list:
+    """Consecutive runs of *run_size* (last may be shorter)."""
+    return [order[i : i + run_size] for i in range(0, len(order), run_size)]
+
+
+def str_groups(mbrs: np.ndarray, capacity: int) -> list:
+    """Partition elements into STR tiles of at most *capacity* elements.
+
+    Returns a list of index arrays (into *mbrs*), each a final tile, in
+    tile order (x-slab major, then y, then z).  Every tile except the
+    last of each beam holds exactly *capacity* elements (100 % fill, as
+    in the paper's setup).
+    """
+    mbrs = np.asarray(mbrs, dtype=np.float64)
+    if mbrs.ndim != 2 or mbrs.shape[1] != 6:
+        raise ValueError(f"expected (N, 6) MBRs, got {mbrs.shape}")
+    if capacity <= 0:
+        raise ValueError(f"capacity must be positive, got {capacity}")
+    n = len(mbrs)
+    if n == 0:
+        return []
+    centers = mbr_center(mbrs)
+    slab_size, beam_size = str_run_sizes(n, capacity)
+
+    groups = []
+    x_order = np.argsort(centers[:, 0], kind="stable")
+    for x_slab in _runs(x_order, slab_size):
+        y_order = x_slab[np.argsort(centers[x_slab, 1], kind="stable")]
+        for y_beam in _runs(y_order, beam_size(len(x_slab))):
+            z_order = y_beam[np.argsort(centers[y_beam, 2], kind="stable")]
+            groups.extend(_runs(z_order, capacity))
+    return groups
+
+
+def str_sort_order(mbrs: np.ndarray, capacity: int) -> np.ndarray:
+    """Element permutation concatenating the STR tiles in tile order."""
+    groups = str_groups(mbrs, capacity)
+    if not groups:
+        return np.empty(0, dtype=np.int64)
+    return np.concatenate(groups)

@@ -1,0 +1,51 @@
+"""On-disk layout constants, mirroring the paper's setup (Sec. VII-A).
+
+"All approaches store data on the disk in 4K pages. ... All
+implementations store 85 spatial elements on a 4K page."  A spatial
+element on disk is its axis-aligned MBR — 6 double-precision floats —
+because the paper stores only MBRs on leaf/object pages for fairness.
+"""
+
+from __future__ import annotations
+
+from repro.geometry.mbr import DIMS
+
+#: Disk page size in bytes (the paper's 4 K pages).
+PAGE_SIZE = 4096
+
+#: Bytes per double-precision float.
+FLOAT_BYTES = 8
+
+#: Bytes per serialized MBR: 6 doubles (2 corners x 3 dims).
+MBR_BYTES = 2 * DIMS * FLOAT_BYTES
+
+#: Bytes reserved at the start of every page for the page header
+#: (element/entry count and flags).
+PAGE_HEADER_BYTES = 16
+
+#: Bytes of a page pointer (page id) on disk.
+POINTER_BYTES = 8
+
+#: Spatial elements per object/leaf page: (4096 - 16) // 48 == 85,
+#: matching the paper's 85 elements per 4 K page exactly.
+OBJECT_PAGE_CAPACITY = (PAGE_SIZE - PAGE_HEADER_BYTES) // MBR_BYTES
+
+#: Bytes per internal-node entry: child page pointer + child MBR.
+NODE_ENTRY_BYTES = POINTER_BYTES + MBR_BYTES
+
+#: Internal-node fanout: entries per 4 K page.
+NODE_FANOUT = (PAGE_SIZE - PAGE_HEADER_BYTES) // NODE_ENTRY_BYTES
+
+#: Bytes of a neighbor-record pointer inside a metadata record.  Record
+#: ids are dense, so 32 bits cover 4 G partitions (360 G elements) —
+#: neighbor lists are the bulk of the metadata, so the compact pointer
+#: nearly doubles the records per seed-leaf page.
+RECORD_POINTER_BYTES = 4
+
+#: Fixed part of a serialized FLAT metadata record: page MBR +
+#: partition MBR + object page pointer + neighbor count (see
+#: :mod:`repro.storage.serial`).  Each neighbor adds
+#: RECORD_POINTER_BYTES.
+METADATA_RECORD_FIXED_BYTES = 2 * MBR_BYTES + POINTER_BYTES + 4
+
+assert OBJECT_PAGE_CAPACITY == 85, "layout drifted from the paper's 85/page"

@@ -1,0 +1,117 @@
+"""The simulated disk: an append-only store of fixed-size pages.
+
+Pages are immutable once allocated (all index structures in the paper
+are bulkloaded; Sec. IV: "we focus on developing a bulkloading approach
+and do not consider updates").  Reads are counted per page *category*
+unless absorbed by the attached buffer pool.
+"""
+
+from __future__ import annotations
+
+from repro.storage.buffer import BufferPool
+from repro.storage.constants import PAGE_SIZE
+from repro.storage.stats import ALL_CATEGORIES, IOStats
+
+
+class PageStoreError(Exception):
+    """Raised for invalid page ids, payload sizes, or categories."""
+
+
+class PageStore:
+    """Append-only page store with category-tagged I/O accounting.
+
+    Parameters
+    ----------
+    buffer:
+        Optional :class:`BufferPool` absorbing repeated reads.  By
+        default an *unbounded* pool is attached, modeling the OS page
+        cache within one query; call :meth:`clear_cache` to simulate the
+        paper's cache clearing between queries.
+    """
+
+    def __init__(self, buffer: BufferPool | None = None):
+        self._pages: list[bytes] = []
+        self._categories: list[str] = []
+        self.buffer = BufferPool() if buffer is None else buffer
+        self.stats = IOStats()
+
+    # -- allocation ----------------------------------------------------
+
+    def allocate(self, payload: bytes, category: str) -> int:
+        """Persist a page and return its page id.
+
+        The payload must be exactly one page; categories must be one of
+        :data:`repro.storage.stats.ALL_CATEGORIES` so that breakdown
+        figures can attribute every read.
+        """
+        if len(payload) != PAGE_SIZE:
+            raise PageStoreError(
+                f"page payload must be exactly {PAGE_SIZE} bytes, got {len(payload)}"
+            )
+        if category not in ALL_CATEGORIES:
+            raise PageStoreError(f"unknown page category: {category!r}")
+        page_id = len(self._pages)
+        self._pages.append(payload)
+        self._categories.append(category)
+        self.stats.record_write(category)
+        return page_id
+
+    # -- reading -------------------------------------------------------
+
+    def read(self, page_id: int) -> bytes:
+        """Fetch a page, counting a physical read on buffer miss."""
+        payload = self._payload(page_id)
+        if self.buffer is not None:
+            cached = self.buffer.get(page_id)
+            if cached is not None:
+                self.stats.record_cache_hit()
+                return cached
+            self.buffer.put(page_id, payload)
+        self.stats.record_read(self._categories[page_id])
+        return payload
+
+    def read_silent(self, page_id: int) -> bytes:
+        """Fetch a page without any accounting (index construction only).
+
+        Bulkloading reads its own just-written pages; the paper's
+        build-time figures measure wall-clock, not page reads, so
+        construction-time access is not charged as query I/O.
+        """
+        return self._payload(page_id)
+
+    def _payload(self, page_id: int) -> bytes:
+        if not 0 <= page_id < len(self._pages):
+            raise PageStoreError(
+                f"page id {page_id} out of range (store has {len(self._pages)} pages)"
+            )
+        return self._pages[page_id]
+
+    # -- cache control ---------------------------------------------------
+
+    def clear_cache(self) -> None:
+        """Drop all buffered pages (the paper's per-query cache clearing)."""
+        if self.buffer is not None:
+            self.buffer.clear()
+
+    # -- introspection ---------------------------------------------------
+
+    def category(self, page_id: int) -> str:
+        """The category a page was allocated under."""
+        self._payload(page_id)  # bounds check
+        return self._categories[page_id]
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def pages_in(self, *categories: str) -> int:
+        """Number of allocated pages in the given categories."""
+        return sum(1 for c in self._categories if c in categories)
+
+    def bytes_in(self, *categories: str) -> int:
+        """Allocated bytes in the given categories."""
+        return self.pages_in(*categories) * PAGE_SIZE
+
+    @property
+    def size_bytes(self) -> int:
+        """Total allocated bytes (index size, as in Fig. 11/22)."""
+        return len(self._pages) * PAGE_SIZE

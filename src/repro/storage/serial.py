@@ -1,0 +1,161 @@
+"""Byte-exact page encodings.
+
+Every persisted page is exactly :data:`~repro.storage.constants.PAGE_SIZE`
+bytes.  Three page kinds exist:
+
+* **Element pages** (FLAT object pages and R-Tree leaves): a 16-byte
+  header (element count) followed by up to 85 MBRs of 48 bytes each.
+* **Node pages** (R-Tree internal nodes and seed-tree internal nodes):
+  a 16-byte header (entry count, leaf flag) followed by (child pointer,
+  child MBR) entries of 56 bytes each.
+* **Metadata pages** (seed-tree leaves): a 16-byte header (record
+  count) followed by variable-size metadata records — page MBR,
+  partition MBR, object-page pointer, neighbor count, neighbor record
+  ids (Sec. V-B.2 of the paper).
+
+All encoders zero-pad to the full page; all decoders are the exact
+inverses (round-trip tested byte-for-byte).
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.storage.constants import (
+    MBR_BYTES,
+    METADATA_RECORD_FIXED_BYTES,
+    NODE_FANOUT,
+    OBJECT_PAGE_CAPACITY,
+    PAGE_HEADER_BYTES,
+    PAGE_SIZE,
+    POINTER_BYTES,
+    RECORD_POINTER_BYTES,
+)
+
+_HEADER = struct.Struct("<QBxxxxxxx")  # count: u64, flags: u8, 7 pad bytes
+assert _HEADER.size == PAGE_HEADER_BYTES
+
+_FLAG_LEAF = 0x1
+
+
+def _pad_to_page(payload: bytes) -> bytes:
+    if len(payload) > PAGE_SIZE:
+        raise ValueError(f"payload of {len(payload)} bytes exceeds page size")
+    return payload + b"\x00" * (PAGE_SIZE - len(payload))
+
+
+def encode_element_page(mbrs: np.ndarray) -> bytes:
+    """Serialize up to 85 element MBRs into one 4 KiB page."""
+    mbrs = np.ascontiguousarray(mbrs, dtype=np.float64)
+    if mbrs.ndim != 2 or mbrs.shape[1] == 0 or mbrs.shape[1] != 6:
+        raise ValueError(f"expected (N, 6) MBRs, got {mbrs.shape}")
+    if len(mbrs) > OBJECT_PAGE_CAPACITY:
+        raise ValueError(
+            f"{len(mbrs)} elements exceed page capacity {OBJECT_PAGE_CAPACITY}"
+        )
+    header = _HEADER.pack(len(mbrs), _FLAG_LEAF)
+    return _pad_to_page(header + mbrs.tobytes())
+
+
+def decode_element_page(page: bytes) -> np.ndarray:
+    """Inverse of :func:`encode_element_page`; returns an ``(N, 6)`` array."""
+    if len(page) != PAGE_SIZE:
+        raise ValueError(f"expected a {PAGE_SIZE}-byte page, got {len(page)}")
+    count, _flags = _HEADER.unpack_from(page)
+    if count > OBJECT_PAGE_CAPACITY:
+        raise ValueError(f"corrupt element page: count={count}")
+    data = np.frombuffer(
+        page, dtype=np.float64, count=count * 6, offset=PAGE_HEADER_BYTES
+    )
+    return data.reshape(count, 6).copy()
+
+
+def encode_node_page(child_ids: np.ndarray, child_mbrs: np.ndarray, leaf: bool) -> bytes:
+    """Serialize an internal/leaf tree node: (child pointer, child MBR) entries."""
+    child_ids = np.ascontiguousarray(child_ids, dtype=np.uint64)
+    child_mbrs = np.ascontiguousarray(child_mbrs, dtype=np.float64)
+    if child_ids.ndim != 1 or child_mbrs.shape != (len(child_ids), 6):
+        raise ValueError(
+            f"mismatched node entries: ids {child_ids.shape}, mbrs {child_mbrs.shape}"
+        )
+    if len(child_ids) > NODE_FANOUT:
+        raise ValueError(f"{len(child_ids)} entries exceed node fanout {NODE_FANOUT}")
+    header = _HEADER.pack(len(child_ids), _FLAG_LEAF if leaf else 0)
+    body = bytearray()
+    for cid, mbr in zip(child_ids, child_mbrs):
+        body += struct.pack("<Q", int(cid))
+        body += mbr.tobytes()
+    return _pad_to_page(header + bytes(body))
+
+
+def decode_node_page(page: bytes) -> tuple:
+    """Inverse of :func:`encode_node_page` → ``(child_ids, child_mbrs, leaf)``."""
+    if len(page) != PAGE_SIZE:
+        raise ValueError(f"expected a {PAGE_SIZE}-byte page, got {len(page)}")
+    count, flags = _HEADER.unpack_from(page)
+    if count > NODE_FANOUT:
+        raise ValueError(f"corrupt node page: count={count}")
+    child_ids = np.empty(count, dtype=np.uint64)
+    child_mbrs = np.empty((count, 6), dtype=np.float64)
+    offset = PAGE_HEADER_BYTES
+    for i in range(count):
+        (child_ids[i],) = struct.unpack_from("<Q", page, offset)
+        offset += POINTER_BYTES
+        child_mbrs[i] = np.frombuffer(page, dtype=np.float64, count=6, offset=offset)
+        offset += MBR_BYTES
+    return child_ids, child_mbrs, bool(flags & _FLAG_LEAF)
+
+
+def metadata_record_bytes(num_neighbors: int) -> int:
+    """Serialized size of one metadata record with *num_neighbors* pointers."""
+    return METADATA_RECORD_FIXED_BYTES + num_neighbors * RECORD_POINTER_BYTES
+
+
+def encode_metadata_page(records: list) -> bytes:
+    """Serialize metadata records into one seed-tree leaf page.
+
+    *records* is a list of ``(page_mbr, partition_mbr, object_page_id,
+    neighbor_ids)`` tuples; ``neighbor_ids`` are *global record ids*
+    resolved to leaf pages via the record directory (Sec. V-B.2: the
+    neighbor pointers point at other metadata records in seed-tree
+    leaves).
+    """
+    body = bytearray()
+    for page_mbr, partition_mbr, object_page_id, neighbor_ids in records:
+        page_mbr = np.ascontiguousarray(page_mbr, dtype=np.float64)
+        partition_mbr = np.ascontiguousarray(partition_mbr, dtype=np.float64)
+        if page_mbr.shape != (6,) or partition_mbr.shape != (6,):
+            raise ValueError("metadata record MBRs must have shape (6,)")
+        body += page_mbr.tobytes()
+        body += partition_mbr.tobytes()
+        body += struct.pack("<QI", int(object_page_id), len(neighbor_ids))
+        for nid in neighbor_ids:
+            body += struct.pack("<I", int(nid))
+    header = _HEADER.pack(len(records), _FLAG_LEAF)
+    return _pad_to_page(header + bytes(body))
+
+
+def decode_metadata_page(page: bytes) -> list:
+    """Inverse of :func:`encode_metadata_page`."""
+    if len(page) != PAGE_SIZE:
+        raise ValueError(f"expected a {PAGE_SIZE}-byte page, got {len(page)}")
+    count, _flags = _HEADER.unpack_from(page)
+    records = []
+    offset = PAGE_HEADER_BYTES
+    for _ in range(count):
+        page_mbr = np.frombuffer(page, dtype=np.float64, count=6, offset=offset).copy()
+        offset += MBR_BYTES
+        partition_mbr = np.frombuffer(
+            page, dtype=np.float64, count=6, offset=offset
+        ).copy()
+        offset += MBR_BYTES
+        object_page_id, n_neighbors = struct.unpack_from("<QI", page, offset)
+        offset += POINTER_BYTES + 4
+        neighbor_ids = list(
+            struct.unpack_from(f"<{n_neighbors}I", page, offset)
+        )
+        offset += n_neighbors * RECORD_POINTER_BYTES
+        records.append((page_mbr, partition_mbr, object_page_id, neighbor_ids))
+    return records

@@ -1,0 +1,107 @@
+"""Per-category I/O accounting.
+
+Every figure in the paper's evaluation is a page-read (or derived
+bytes-read) measurement broken down by page category — e.g. Fig. 14
+splits FLAT reads into seed-tree / metadata / object pages and PR-Tree
+reads into leaf / non-leaf pages.  ``IOStats`` keeps those counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.storage.constants import PAGE_SIZE
+
+#: FLAT object pages and R-Tree leaf element payload pages.
+CATEGORY_OBJECT = "object"
+#: Seed-tree leaf pages holding FLAT metadata records.
+CATEGORY_METADATA = "metadata"
+#: Seed-tree internal (hierarchy) pages.
+CATEGORY_SEED_INTERNAL = "seed_internal"
+#: R-Tree leaf pages (the pages storing the 85 element MBRs).
+CATEGORY_RTREE_LEAF = "rtree_leaf"
+#: R-Tree internal pages ("non-leaf pages" in the paper's terminology).
+CATEGORY_RTREE_INTERNAL = "rtree_internal"
+
+ALL_CATEGORIES = (
+    CATEGORY_OBJECT,
+    CATEGORY_METADATA,
+    CATEGORY_SEED_INTERNAL,
+    CATEGORY_RTREE_LEAF,
+    CATEGORY_RTREE_INTERNAL,
+)
+
+
+@dataclass
+class IOStats:
+    """Mutable counters of page reads/writes, split by page category."""
+
+    reads: dict = field(default_factory=dict)
+    writes: dict = field(default_factory=dict)
+    cache_hits: int = 0
+
+    def record_read(self, category: str, pages: int = 1) -> None:
+        """Count *pages* physical page reads in *category*."""
+        self.reads[category] = self.reads.get(category, 0) + pages
+
+    def record_write(self, category: str, pages: int = 1) -> None:
+        """Count *pages* page writes in *category*."""
+        self.writes[category] = self.writes.get(category, 0) + pages
+
+    def record_cache_hit(self) -> None:
+        """Count a read absorbed by the buffer pool (no physical I/O)."""
+        self.cache_hits += 1
+
+    def reads_in(self, *categories: str) -> int:
+        """Total physical reads across the given categories."""
+        return sum(self.reads.get(c, 0) for c in categories)
+
+    @property
+    def total_reads(self) -> int:
+        """Total physical page reads across all categories."""
+        return sum(self.reads.values())
+
+    @property
+    def total_bytes_read(self) -> int:
+        """Total bytes read from 'disk'."""
+        return self.total_reads * PAGE_SIZE
+
+    def bytes_read_in(self, *categories: str) -> int:
+        """Bytes read across the given categories."""
+        return self.reads_in(*categories) * PAGE_SIZE
+
+    def snapshot(self) -> "IOStats":
+        """A frozen copy (for before/after differencing)."""
+        return IOStats(dict(self.reads), dict(self.writes), self.cache_hits)
+
+    def diff(self, before: "IOStats") -> "IOStats":
+        """Counters accumulated since the *before* snapshot."""
+        reads = {
+            c: n - before.reads.get(c, 0)
+            for c, n in self.reads.items()
+            if n - before.reads.get(c, 0)
+        }
+        writes = {
+            c: n - before.writes.get(c, 0)
+            for c, n in self.writes.items()
+            if n - before.writes.get(c, 0)
+        }
+        return IOStats(reads, writes, self.cache_hits - before.cache_hits)
+
+    def merge(self, other: "IOStats") -> None:
+        """Accumulate *other*'s counters into this object."""
+        for category, n in other.reads.items():
+            self.reads[category] = self.reads.get(category, 0) + n
+        for category, n in other.writes.items():
+            self.writes[category] = self.writes.get(category, 0) + n
+        self.cache_hits += other.cache_hits
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.reads.clear()
+        self.writes.clear()
+        self.cache_hits = 0
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{c}={n}" for c, n in sorted(self.reads.items()))
+        return f"IOStats(reads: {parts or 'none'}, cache_hits={self.cache_hits})"

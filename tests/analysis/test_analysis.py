@@ -1,0 +1,92 @@
+"""Tests for the analysis helpers (report, histograms, overlap)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    OverlapMeasurement,
+    PointerDistribution,
+    format_table,
+    leaf_nonleaf_ratio,
+    measure_overlap,
+    pointer_histogram,
+    to_csv,
+)
+from repro.query.executor import QueryRunResult
+from repro.rtree import bulkload_rtree
+from repro.storage import CATEGORY_RTREE_INTERNAL, CATEGORY_RTREE_LEAF, PageStore
+
+
+class TestReport:
+    def test_format_table_aligns_columns(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [333, 0.001]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_empty_rows(self):
+        text = format_table(["x"], [])
+        assert "x" in text
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[float("nan")], [1234567.0], [0.25]])
+        assert "nan" in text
+        assert "1.23e+06" in text
+        assert "0.25" in text
+
+    def test_to_csv(self):
+        csv = to_csv(["a", "b"], [[1, 2], [3, 4]])
+        assert csv == "a,b\n1,2\n3,4\n"
+
+
+class TestHistograms:
+    def test_distribution_summary(self):
+        counts = np.array([10, 20, 20, 30, 40])
+        dist = PointerDistribution.from_counts(counts)
+        assert dist.count == 5
+        assert dist.median == 20
+        assert dist.max == 40
+        assert dist.mean == pytest.approx(24.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            PointerDistribution.from_counts(np.array([]))
+
+    def test_histogram_buckets(self):
+        hist = pointer_histogram(np.array([1, 2, 2, 9]), bin_width=1)
+        assert hist == {1: 1, 2: 2, 9: 1}
+
+    def test_histogram_wider_bins(self):
+        hist = pointer_histogram(np.array([1, 2, 9, 11]), bin_width=10)
+        assert hist == {0: 3, 10: 1}
+
+    def test_bad_bin_width(self):
+        with pytest.raises(ValueError):
+            pointer_histogram(np.array([1]), bin_width=0)
+
+
+class TestOverlap:
+    def test_measure_overlap_dense_data(self):
+        rng = np.random.default_rng(0)
+        lo = rng.uniform(0, 20, size=(3000, 3))
+        mbrs = np.concatenate([lo, lo + 3.0], axis=1)
+        store = PageStore()
+        tree = bulkload_rtree(store, mbrs, "str")
+        points = rng.uniform(0, 20, size=(20, 3))
+        m = measure_overlap(tree, store, points, "str")
+        assert isinstance(m, OverlapMeasurement)
+        assert m.pages_per_point_query > m.tree_height
+        assert m.has_overlap
+
+    def test_leaf_nonleaf_ratio(self):
+        run = QueryRunResult(index_name="x")
+        run.reads_by_category = {
+            CATEGORY_RTREE_LEAF: 10,
+            CATEGORY_RTREE_INTERNAL: 25,
+        }
+        assert leaf_nonleaf_ratio(run) == pytest.approx(2.5)
+
+    def test_leaf_nonleaf_ratio_no_leaves(self):
+        run = QueryRunResult(index_name="x")
+        assert np.isnan(leaf_nonleaf_ratio(run))

@@ -1,0 +1,118 @@
+"""Tests reproducing the paper's Sec. II claim about crawling baselines:
+connectivity crawls are exact on connected data but *miss results* on
+concave data — FLAT's motivating failure mode."""
+
+import numpy as np
+import pytest
+
+from repro import FLATIndex, PageStore
+from repro.baselines import ConnectivityCrawler, chain_adjacency, mesh_adjacency
+from repro.data import deformed_sphere_mesh
+from repro.geometry import boxes_intersect_box, triangles_to_mbrs
+
+
+def chain_mbrs(n_chains, chain_length, spacing=1.0, seed=0):
+    """Connected chains of unit boxes laid out as parallel fibers."""
+    rng = np.random.default_rng(seed)
+    boxes = []
+    for c in range(n_chains):
+        origin = rng.uniform(0, 10, size=3)
+        direction = np.array([1.0, 0.0, 0.0])
+        for k in range(chain_length):
+            lo = origin + k * spacing * direction
+            boxes.append(np.concatenate([lo, lo + 1.0]))
+    return np.stack(boxes)
+
+
+class TestAdjacencyBuilders:
+    def test_chain_adjacency_structure(self):
+        adj = chain_adjacency(6, chain_length=3)
+        assert adj[0] == [1]
+        assert adj[1] == [0, 2]
+        assert adj[2] == [1]
+        assert adj[3] == [4]  # new chain starts
+
+    def test_chain_adjacency_validation(self):
+        with pytest.raises(ValueError):
+            chain_adjacency(5, 0)
+
+    def test_mesh_adjacency_sphere_is_connected(self):
+        tris = deformed_sphere_mesh(300, deformation=0.0, seed=0)
+        adj = mesh_adjacency(tris)
+        seen = {0}
+        frontier = [0]
+        while frontier:
+            node = frontier.pop()
+            for nb in adj[node]:
+                if nb not in seen:
+                    seen.add(nb)
+                    frontier.append(nb)
+        assert len(seen) == len(tris)
+
+    def test_mesh_adjacency_validation(self):
+        with pytest.raises(ValueError):
+            mesh_adjacency(np.zeros((4, 2, 3)))
+
+
+class TestCrawlerOnConnectedData:
+    def test_exact_on_single_chain(self):
+        mbrs = chain_mbrs(1, 30, seed=1)
+        crawler = ConnectivityCrawler(mbrs, chain_adjacency(30, 30))
+        query = np.array([0.0, 0, 0, 100, 100, 100])
+        expected = np.flatnonzero(boxes_intersect_box(mbrs, query))
+        assert np.array_equal(crawler.range_query(query), expected)
+        assert len(crawler.misses(query)) == 0
+
+    def test_exact_on_connected_mesh(self):
+        tris = deformed_sphere_mesh(400, radius=50.0, deformation=0.1, seed=2)
+        mbrs = triangles_to_mbrs(tris)
+        crawler = ConnectivityCrawler(mbrs, mesh_adjacency(tris))
+        # A band around the equator: connected on the surface.
+        query = np.array([-60.0, -60.0, -10.0, 60.0, 60.0, 10.0])
+        expected = np.flatnonzero(boxes_intersect_box(mbrs, query))
+        assert np.array_equal(crawler.range_query(query), expected)
+
+    def test_empty_query(self):
+        mbrs = chain_mbrs(1, 10, seed=3)
+        crawler = ConnectivityCrawler(mbrs, chain_adjacency(10, 10))
+        query = np.array([500.0, 500, 500, 501, 501, 501])
+        assert len(crawler.range_query(query)) == 0
+
+    def test_adjacency_length_validated(self):
+        with pytest.raises(ValueError):
+            ConnectivityCrawler(chain_mbrs(1, 5), [[]] * 4)
+
+
+class TestConcaveFailure:
+    """The paper's claim: concave regions split the result into parts
+    the crawl cannot bridge — FLAT must bridge them."""
+
+    def setup_method(self):
+        # Two parallel fibers far apart; one query box spanning both.
+        # The gap between them is the 'hole' (concave region).
+        a = chain_mbrs(1, 20, seed=4)                  # around y ~ [0,10]
+        b = chain_mbrs(1, 20, seed=5) + np.array([0, 50, 0, 0, 50, 0])
+        self.mbrs = np.concatenate([a, b])
+        self.adjacency = chain_adjacency(40, 20)
+        self.query = np.array([-100.0, -100, -100, 200, 200, 200])
+
+    def test_crawler_misses_the_disconnected_part(self):
+        crawler = ConnectivityCrawler(self.mbrs, self.adjacency)
+        found = crawler.range_query(self.query)
+        missed = crawler.misses(self.query)
+        assert len(found) == 20       # only the seed's fiber
+        assert len(missed) == 20      # the other fiber is unreachable
+
+    def test_flat_bridges_the_hole(self):
+        flat = FLATIndex.build(PageStore(), self.mbrs)
+        assert len(flat.range_query(self.query)) == 40
+
+    def test_crawler_exact_if_started_in_each_component(self):
+        # Sanity: the failure is purely a connectivity property, not a
+        # bug in the crawl — each component is fully found from within.
+        crawler = ConnectivityCrawler(self.mbrs, self.adjacency)
+        first = crawler.range_query(self.query, start=0)
+        second = crawler.range_query(self.query, start=20)
+        union = np.union1d(first, second)
+        expected = np.flatnonzero(boxes_intersect_box(self.mbrs, self.query))
+        assert np.array_equal(union, expected)

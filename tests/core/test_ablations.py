@@ -1,0 +1,92 @@
+"""Tests for FLAT's build knobs: metadata grouping and seed fanout.
+
+Both knobs exist for the ablation benchmarks; they must never change
+query *results*, only I/O counts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import FLATIndex
+from repro.storage import CATEGORY_METADATA, NODE_FANOUT, PageStore
+
+
+def random_mbrs(n, seed=0, extent=2.0):
+    rng = np.random.default_rng(seed)
+    lo = rng.uniform(0, 40, size=(n, 3))
+    return np.concatenate([lo, lo + rng.uniform(0.01, extent, size=(n, 3))], axis=1)
+
+
+def queries(count, seed=1):
+    rng = np.random.default_rng(seed)
+    lo = rng.uniform(0, 35, size=(count, 3))
+    return np.concatenate([lo, lo + rng.uniform(1, 6, size=(count, 3))], axis=1)
+
+
+class TestMetadataGrouping:
+    def test_both_groupings_answer_identically(self):
+        mbrs = random_mbrs(5000, seed=2)
+        spatial = FLATIndex.build(PageStore(), mbrs, spatial_metadata_grouping=True)
+        linear = FLATIndex.build(PageStore(), mbrs, spatial_metadata_grouping=False)
+        for q in queries(20):
+            assert np.array_equal(spatial.range_query(q), linear.range_query(q))
+
+    def test_spatial_grouping_reads_fewer_metadata_pages(self):
+        # The locality effect needs enough metadata pages to matter, so
+        # use a dense microcircuit (many partitions, fat neighbor lists).
+        from repro.data import build_microcircuit
+        from repro.query import random_range_queries
+
+        circuit = build_microcircuit(20_000, side=18.0, seed=5)
+        mbrs = circuit.mbrs()
+        qs = random_range_queries(circuit.space_mbr, 5e-6, 30, seed=6)
+        reads = {}
+        for spatial in (True, False):
+            store = PageStore()
+            index = FLATIndex.build(
+                store,
+                mbrs,
+                space_mbr=circuit.space_mbr,
+                spatial_metadata_grouping=spatial,
+            )
+            total = 0
+            for q in qs:
+                store.clear_cache()
+                before = store.stats.snapshot()
+                index.range_query(q)
+                total += store.stats.diff(before).reads.get(CATEGORY_METADATA, 0)
+            reads[spatial] = total
+        assert reads[True] < reads[False]
+
+    def test_record_round_trip_with_linear_grouping(self):
+        mbrs = random_mbrs(2000, seed=5)
+        index = FLATIndex.build(PageStore(), mbrs, spatial_metadata_grouping=False)
+        seed = index.seed_index
+        for record in seed.iter_records():
+            fetched = seed.fetch_record(record.record_id)
+            assert fetched.object_page_id == record.object_page_id
+            assert fetched.neighbor_ids == record.neighbor_ids
+
+
+class TestSeedFanout:
+    @pytest.mark.parametrize("fanout", [3, 9, NODE_FANOUT])
+    def test_results_independent_of_fanout(self, fanout):
+        mbrs = random_mbrs(4000, seed=6)
+        index = FLATIndex.build(PageStore(), mbrs, seed_fanout=fanout)
+        reference = FLATIndex.build(PageStore(), mbrs)
+        for q in queries(15, seed=7):
+            assert np.array_equal(index.range_query(q), reference.range_query(q))
+
+    def test_lower_fanout_deepens_seed_tree(self):
+        mbrs = random_mbrs(20_000, seed=8)
+        shallow = FLATIndex.build(PageStore(), mbrs)
+        deep = FLATIndex.build(PageStore(), mbrs, seed_fanout=4)
+        assert deep.seed_index.height > shallow.seed_index.height
+
+    def test_invalid_fanout_rejected(self):
+        with pytest.raises(ValueError):
+            FLATIndex.build(PageStore(), random_mbrs(500), seed_fanout=1)
+        with pytest.raises(ValueError):
+            FLATIndex.build(
+                PageStore(), random_mbrs(500), seed_fanout=NODE_FANOUT + 1
+            )

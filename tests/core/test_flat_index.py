@@ -1,0 +1,154 @@
+"""End-to-end tests for FLAT: correctness against brute force, crawl
+behaviour, accounting and the paper's structural claims."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import FLATIndex
+from repro.geometry import boxes_intersect_box
+from repro.storage import (
+    CATEGORY_METADATA,
+    CATEGORY_OBJECT,
+    CATEGORY_SEED_INTERNAL,
+    PageStore,
+)
+from repro.rtree import bulkload_rtree
+
+
+def random_mbrs(n, seed=0, span=100.0, extent=2.0):
+    rng = np.random.default_rng(seed)
+    lo = rng.uniform(0, span, size=(n, 3))
+    return np.concatenate([lo, lo + rng.uniform(0.01, extent, size=(n, 3))], axis=1)
+
+
+def brute_force(mbrs, query):
+    return np.flatnonzero(boxes_intersect_box(mbrs, query))
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n", [1, 50, 85, 86, 800, 3000])
+    def test_range_query_matches_brute_force(self, n):
+        mbrs = random_mbrs(n, seed=n)
+        index = FLATIndex.build(PageStore(), mbrs)
+        rng = np.random.default_rng(n + 1)
+        for _ in range(15):
+            lo = rng.uniform(-5, 105, size=3)
+            query = np.concatenate([lo, lo + rng.uniform(0.5, 30, size=3)])
+            assert np.array_equal(index.range_query(query), brute_force(mbrs, query))
+
+    def test_matches_rtree_results(self):
+        mbrs = random_mbrs(1200, seed=9)
+        flat = FLATIndex.build(PageStore(), mbrs)
+        rtree = bulkload_rtree(PageStore(), mbrs, "str")
+        rng = np.random.default_rng(10)
+        for _ in range(20):
+            lo = rng.uniform(0, 90, size=3)
+            query = np.concatenate([lo, lo + rng.uniform(1, 20, size=3)])
+            assert np.array_equal(flat.range_query(query), rtree.range_query(query))
+
+    def test_point_query(self):
+        mbrs = random_mbrs(800, seed=11, extent=6.0)
+        index = FLATIndex.build(PageStore(), mbrs)
+        rng = np.random.default_rng(12)
+        from repro.geometry import boxes_intersect_point
+
+        for _ in range(15):
+            point = rng.uniform(0, 100, size=3)
+            expected = np.flatnonzero(boxes_intersect_point(mbrs, point))
+            assert np.array_equal(index.point_query(point), expected)
+
+    def test_empty_query(self):
+        mbrs = random_mbrs(300, seed=13)
+        index = FLATIndex.build(PageStore(), mbrs)
+        out = index.range_query(np.array([500.0, 500, 500, 510, 510, 510]))
+        assert len(out) == 0
+        assert index.last_crawl_stats.seeded is False
+
+    def test_whole_space_query(self):
+        mbrs = random_mbrs(500, seed=14)
+        index = FLATIndex.build(PageStore(), mbrs)
+        query = np.array([-1e5, -1e5, -1e5, 1e5, 1e5, 1e5])
+        assert np.array_equal(index.range_query(query), np.arange(500))
+
+    def test_concave_data_crawled_across_hole(self):
+        # Two clusters separated by empty space; one query spanning both.
+        # DLS-style crawling would stop at the hole, FLAT must not.
+        rng = np.random.default_rng(15)
+        a = rng.uniform(0, 10, size=(300, 3))
+        b = rng.uniform(60, 70, size=(300, 3))
+        lo = np.concatenate([a, b])
+        mbrs = np.concatenate([lo, lo + 0.5], axis=1)
+        index = FLATIndex.build(PageStore(), mbrs)
+        query = np.array([-1.0, -1, -1, 71, 71, 71])
+        assert len(index.range_query(query)) == 600
+
+    def test_partition_only_cycle_terminates(self):
+        # Regression for the documented Algorithm 2 pseudocode issue:
+        # records whose partition MBR intersects the query but whose page
+        # MBR does not must not cause re-enqueue loops.  A thin query
+        # plane through tile boundaries exercises exactly this.
+        mbrs = random_mbrs(2000, seed=16, extent=0.2)
+        index = FLATIndex.build(PageStore(), mbrs)
+        query = np.array([0.0, 0, 49.999, 100, 100, 50.001])
+        result = index.range_query(query)
+        assert np.array_equal(result, brute_force(mbrs, query))
+        # Every record is dequeued at most once.
+        assert index.last_crawl_stats.records_dequeued <= index.object_page_count
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(1, 400), st.integers(0, 2**31), st.integers(0, 2**31))
+def test_flat_equals_brute_force_property(n, data_seed, query_seed):
+    mbrs = random_mbrs(n, seed=data_seed)
+    index = FLATIndex.build(PageStore(), mbrs)
+    rng = np.random.default_rng(query_seed)
+    lo = rng.uniform(-10, 100, size=3)
+    query = np.concatenate([lo, lo + rng.uniform(0, 40, size=3)])
+    assert np.array_equal(index.range_query(query), brute_force(mbrs, query))
+
+
+class TestAccounting:
+    def test_build_report_phases_populated(self):
+        index = FLATIndex.build(PageStore(), random_mbrs(1000, seed=17))
+        report = index.build_report
+        assert report.partition_count == index.object_page_count
+        assert report.partitioning_seconds >= 0
+        assert report.finding_neighbors_seconds >= 0
+        assert report.total_seconds > 0
+        assert len(report.pointer_counts) == report.partition_count
+
+    def test_query_reads_split_by_category(self):
+        store = PageStore()
+        mbrs = random_mbrs(3000, seed=18)
+        index = FLATIndex.build(store, mbrs)
+        store.clear_cache()
+        before = store.stats.snapshot()
+        index.range_query(np.array([10.0, 10, 10, 60, 60, 60]))
+        delta = store.stats.diff(before)
+        assert delta.reads.get(CATEGORY_OBJECT, 0) > 0
+        assert delta.reads.get(CATEGORY_METADATA, 0) > 0
+        assert delta.reads.get(CATEGORY_SEED_INTERNAL, 0) >= 1
+
+    def test_crawl_stats_bookkeeping(self):
+        index = FLATIndex.build(PageStore(), random_mbrs(2000, seed=19))
+        result = index.range_query(np.array([20.0, 20, 20, 70, 70, 70]))
+        stats = index.last_crawl_stats
+        assert stats.seeded
+        assert stats.result_count == len(result)
+        assert stats.object_pages_read >= 1
+        assert stats.max_queue_length >= 1
+        assert stats.bookkeeping_bytes == stats.max_queue_length * 8
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            FLATIndex.build(PageStore(), random_mbrs(100), page_capacity=999)
+
+    def test_object_pages_match_rtree_leaf_pages(self):
+        # Fig. 11: "the total size of the leaf pages of the R-Trees is
+        # the same as the size of FLAT's object pages" (same packing).
+        mbrs = random_mbrs(2000, seed=20)
+        flat = FLATIndex.build(PageStore(), mbrs)
+        rtree = bulkload_rtree(PageStore(), mbrs, "str")
+        assert flat.object_page_count == rtree.leaf_count()

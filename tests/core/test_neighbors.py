@@ -1,0 +1,73 @@
+"""Tests for neighbor discovery over the partition MBRs."""
+
+import numpy as np
+
+from repro.core import compute_neighbors, compute_partitions, neighbor_counts
+from repro.geometry import pairwise_intersects
+
+
+def random_mbrs(n, seed=0, span=100.0, extent=2.0):
+    rng = np.random.default_rng(seed)
+    lo = rng.uniform(0, span, size=(n, 3))
+    return np.concatenate([lo, lo + rng.uniform(0.01, extent, size=(n, 3))], axis=1)
+
+
+def build_parts(n, seed=0, capacity=40):
+    parts = compute_partitions(random_mbrs(n, seed=seed), capacity)
+    compute_neighbors(parts)
+    return parts
+
+
+class TestNeighborRelation:
+    def test_matches_brute_force_intersection(self):
+        parts = build_parts(800, seed=1)
+        boxes = np.stack([p.partition_mbr for p in parts])
+        matrix = pairwise_intersects(boxes, boxes)
+        for i, p in enumerate(parts):
+            expected = set(np.flatnonzero(matrix[i]).tolist()) - {i}
+            assert set(p.neighbors) == expected
+
+    def test_symmetric(self):
+        parts = build_parts(600, seed=2)
+        for i, p in enumerate(parts):
+            for j in p.neighbors:
+                assert i in parts[j].neighbors
+
+    def test_no_self_loops(self):
+        parts = build_parts(600, seed=3)
+        for i, p in enumerate(parts):
+            assert i not in p.neighbors
+
+    def test_gap_free_tiling_connects_graph(self):
+        # Partitions tile the space, so the adjacency graph over all
+        # partitions must be connected — even for concave (two-cluster)
+        # data, which is why FLAT can crawl across holes.
+        rng = np.random.default_rng(4)
+        a = rng.uniform(0, 10, size=(200, 3))
+        b = rng.uniform(80, 90, size=(200, 3))
+        lo = np.concatenate([a, b])
+        mbrs = np.concatenate([lo, lo + 0.4], axis=1)
+        parts = compute_partitions(mbrs, 40)
+        compute_neighbors(parts)
+
+        seen = {0}
+        frontier = [0]
+        while frontier:
+            node = frontier.pop()
+            for nb in parts[node].neighbors:
+                if nb not in seen:
+                    seen.add(nb)
+                    frontier.append(nb)
+        assert seen == set(range(len(parts)))
+
+    def test_single_partition_has_no_neighbors(self):
+        parts = compute_partitions(random_mbrs(10, seed=5), 85)
+        compute_neighbors(parts)
+        assert len(parts) == 1
+        assert parts[0].neighbors == []
+
+    def test_neighbor_counts_helper(self):
+        parts = build_parts(500, seed=6)
+        counts = neighbor_counts(parts)
+        assert len(counts) == len(parts)
+        assert (counts == np.array([len(p.neighbors) for p in parts])).all()

@@ -1,0 +1,113 @@
+"""Tests for Algorithm 1's partitioning and its two required properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import compute_partitions, coverage_gaps_exist
+from repro.geometry import mbr_contains_mbr, mbr_union_many
+
+
+def random_mbrs(n, seed=0, span=100.0, extent=2.0):
+    rng = np.random.default_rng(seed)
+    lo = rng.uniform(0, span, size=(n, 3))
+    return np.concatenate([lo, lo + rng.uniform(0.01, extent, size=(n, 3))], axis=1)
+
+
+class TestPartitioning:
+    @pytest.mark.parametrize("n", [1, 10, 85, 86, 500, 2000])
+    def test_every_element_in_exactly_one_partition(self, n):
+        mbrs = random_mbrs(n, seed=n)
+        parts = compute_partitions(mbrs, 85)
+        all_ids = np.sort(np.concatenate([p.element_ids for p in parts]))
+        assert np.array_equal(all_ids, np.arange(n))
+
+    @pytest.mark.parametrize("n", [85, 500, 2000])
+    def test_capacity_respected(self, n):
+        parts = compute_partitions(random_mbrs(n, seed=n), 85)
+        assert all(1 <= len(p.element_ids) <= 85 for p in parts)
+
+    def test_page_mbr_encloses_elements(self):
+        mbrs = random_mbrs(600, seed=1)
+        for p in compute_partitions(mbrs, 85):
+            enclosing = mbr_union_many(mbrs[p.element_ids])
+            assert np.allclose(p.page_mbr, enclosing)
+
+    def test_property2_partition_mbr_encloses_page_mbr(self):
+        # Sec. V-B: "each partition MBR must enclose the MBR of the
+        # corresponding page" — otherwise queries can miss pages (Fig 9).
+        mbrs = random_mbrs(1200, seed=2, extent=8.0)
+        for p in compute_partitions(mbrs, 85):
+            assert mbr_contains_mbr(p.partition_mbr, p.page_mbr)
+
+    def test_property1_no_empty_space(self):
+        # Sec. V-B: the union of all partitions must cover the space.
+        mbrs = random_mbrs(1500, seed=3)
+        space = mbr_union_many(mbrs)
+        parts = compute_partitions(mbrs, 85, space_mbr=space)
+        assert not coverage_gaps_exist(parts, space, samples=8192)
+
+    def test_no_empty_space_with_wider_declared_space(self):
+        mbrs = random_mbrs(800, seed=4)
+        space = np.array([-50.0, -50, -50, 200, 200, 200])
+        parts = compute_partitions(mbrs, 85, space_mbr=space)
+        assert not coverage_gaps_exist(parts, space, samples=8192)
+
+    def test_space_smaller_than_data_is_grown(self):
+        # A declared space that does not cover the data must be expanded,
+        # otherwise property 1 would fail silently.
+        mbrs = random_mbrs(400, seed=5)
+        space = np.array([40.0, 40, 40, 60, 60, 60])
+        parts = compute_partitions(mbrs, 85, space_mbr=space)
+        union = mbr_union_many(np.stack([p.partition_mbr for p in parts]))
+        assert mbr_contains_mbr(union, mbr_union_many(mbrs))
+
+    def test_clustered_data_with_holes(self):
+        # Concave data (two clusters with a gap): partitions must still
+        # tile across the hole — this is FLAT's whole point vs crawling
+        # approaches that require connectivity.
+        rng = np.random.default_rng(6)
+        a = rng.uniform(0, 10, size=(300, 3))
+        b = rng.uniform(90, 100, size=(300, 3))
+        lo = np.concatenate([a, b])
+        mbrs = np.concatenate([lo, lo + 0.5], axis=1)
+        space = mbr_union_many(mbrs)
+        parts = compute_partitions(mbrs, 85, space_mbr=space)
+        assert not coverage_gaps_exist(parts, space, samples=8192)
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(ValueError):
+            compute_partitions(np.empty((0, 6)), 85)
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            compute_partitions(random_mbrs(10), 0)
+
+    def test_partition_count_near_optimal(self):
+        n = 3000
+        parts = compute_partitions(random_mbrs(n, seed=7), 85)
+        optimal = -(-n // 85)
+        assert optimal <= len(parts) <= int(optimal * 1.7) + 6
+
+    def test_identical_centers_handled(self):
+        # All elements stacked at one point: partitioning must not crash
+        # and must still cover and enclose.
+        mbrs = np.tile(np.array([[5.0, 5, 5, 6, 6, 6]]), (200, 1))
+        parts = compute_partitions(mbrs, 85)
+        total = sum(len(p.element_ids) for p in parts)
+        assert total == 200
+        for p in parts:
+            assert mbr_contains_mbr(p.partition_mbr, p.page_mbr)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(1, 600), st.integers(1, 120), st.integers(0, 2**31))
+def test_partition_invariants_property(n, capacity, seed):
+    mbrs = random_mbrs(n, seed=seed)
+    parts = compute_partitions(mbrs, capacity)
+    ids = np.sort(np.concatenate([p.element_ids for p in parts]))
+    assert np.array_equal(ids, np.arange(n))
+    for p in parts:
+        assert len(p.element_ids) <= capacity
+        assert mbr_contains_mbr(p.partition_mbr, p.page_mbr)

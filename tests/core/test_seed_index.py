@@ -1,0 +1,125 @@
+"""Tests for metadata record packing and the seed index."""
+
+import numpy as np
+import pytest
+
+from repro.core import FLATIndex, MetadataRecord, SeedIndex, pack_records_into_pages
+from repro.storage import (
+    CATEGORY_METADATA,
+    CATEGORY_OBJECT,
+    CATEGORY_SEED_INTERNAL,
+    PAGE_SIZE,
+    PageStore,
+)
+from repro.storage.serial import metadata_record_bytes
+
+
+def random_mbrs(n, seed=0, span=100.0, extent=2.0):
+    rng = np.random.default_rng(seed)
+    lo = rng.uniform(0, span, size=(n, 3))
+    return np.concatenate([lo, lo + rng.uniform(0.01, extent, size=(n, 3))], axis=1)
+
+
+class TestRecordPacking:
+    def test_all_records_assigned_in_order(self):
+        sizes = [100] * 100
+        ranges = pack_records_into_pages(sizes)
+        flat = [i for start, end in ranges for i in range(start, end)]
+        assert flat == list(range(100))
+
+    def test_pages_not_overfilled(self):
+        rng = np.random.default_rng(0)
+        sizes = [metadata_record_bytes(int(k)) for k in rng.integers(0, 60, size=500)]
+        budget = PAGE_SIZE - 16
+        for start, end in pack_records_into_pages(sizes):
+            assert sum(sizes[start:end]) <= budget
+
+    def test_oversized_record_rejected(self):
+        with pytest.raises(ValueError):
+            pack_records_into_pages([PAGE_SIZE])
+
+    def test_empty_input(self):
+        assert pack_records_into_pages([]) == []
+
+    def test_greedy_fills_pages(self):
+        # 20 records of ~200 bytes: 20 per page would be 4000 < 4080, so
+        # they all fit on one page.
+        sizes = [200] * 20
+        assert len(pack_records_into_pages(sizes)) == 1
+
+
+def build_flat(n=1500, seed=0, extent=2.0):
+    store = PageStore()
+    mbrs = random_mbrs(n, seed=seed, extent=extent)
+    return FLATIndex.build(store, mbrs), mbrs, store
+
+
+class TestSeedIndexStructure:
+    def test_requires_records(self):
+        with pytest.raises(ValueError):
+            SeedIndex.build(PageStore(), [])
+
+    def test_record_round_trip(self):
+        index, _mbrs, _store = build_flat()
+        seed = index.seed_index
+        for record in seed.iter_records():
+            fetched = seed.fetch_record(record.record_id)
+            assert fetched.record_id == record.record_id
+            assert np.array_equal(fetched.page_mbr, record.page_mbr)
+            assert np.array_equal(fetched.partition_mbr, record.partition_mbr)
+            assert fetched.object_page_id == record.object_page_id
+            assert fetched.neighbor_ids == record.neighbor_ids
+
+    def test_fetch_out_of_range(self):
+        index, _mbrs, _store = build_flat(200)
+        with pytest.raises(ValueError):
+            index.seed_index.fetch_record(index.seed_index.record_count)
+
+    def test_page_categories_accounted(self):
+        index, _mbrs, store = build_flat()
+        assert store.pages_in(CATEGORY_OBJECT) == index.object_page_count
+        assert store.pages_in(CATEGORY_METADATA) == index.metadata_page_count
+        assert store.pages_in(CATEGORY_SEED_INTERNAL) == index.seed_internal_page_count
+
+    def test_records_reference_valid_object_pages(self):
+        index, mbrs, store = build_flat()
+        for record in index.seed_index.iter_records():
+            assert store.category(record.object_page_id) == CATEGORY_OBJECT
+
+    def test_neighbor_ids_are_valid_records(self):
+        index, _mbrs, _store = build_flat()
+        n = index.seed_index.record_count
+        for record in index.seed_index.iter_records():
+            assert all(0 <= nid < n for nid in record.neighbor_ids)
+            assert record.record_id not in record.neighbor_ids
+
+
+class TestSeedQuery:
+    def test_seed_finds_record_iff_query_nonempty(self):
+        index, mbrs, store = build_flat(1000, seed=3)
+        rng = np.random.default_rng(4)
+        from repro.geometry import boxes_intersect_box
+
+        for _ in range(30):
+            lo = rng.uniform(-10, 110, size=3)
+            query = np.concatenate([lo, lo + rng.uniform(0.5, 25, size=3)])
+            expected_nonempty = boxes_intersect_box(mbrs, query).any()
+            got = index.seed_index.seed_query(query)
+            if expected_nonempty:
+                assert got is not None
+                record, slots = got
+                page_mbrs = mbrs[index.object_page_element_ids[record.object_page_id]]
+                assert boxes_intersect_box(page_mbrs[slots], query).all()
+            else:
+                assert got is None
+
+    def test_seed_cost_near_tree_height(self):
+        # The seed phase follows essentially one path: its page reads
+        # must be far below the total number of pages.
+        index, _mbrs, store = build_flat(4000, seed=5)
+        store.clear_cache()
+        before = store.stats.snapshot()
+        center = np.array([45.0, 45, 45, 60, 60, 60])
+        assert index.seed_index.seed_query(center) is not None
+        delta = store.stats.diff(before)
+        assert delta.total_reads <= 12  # height + a couple of probes

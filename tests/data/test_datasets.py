@@ -1,0 +1,180 @@
+"""Tests for microcircuit, uniform, n-body, mesh and registry generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DATASET_ORDER,
+    NBodyConfig,
+    PAPER_DENSITY_STEPS,
+    build_microcircuit,
+    dataset_mbrs,
+    deformed_sphere_mesh,
+    density_sweep,
+    mesh_mbrs,
+    nbody_points,
+    space_box,
+    uniform_aspect_boxes,
+    uniform_cubes,
+)
+from repro.geometry import mbr_volume
+
+
+class TestMicrocircuit:
+    def test_exact_element_count(self):
+        circuit = build_microcircuit(5000, seed=0)
+        assert len(circuit) == 5000
+        assert circuit.mbrs().shape == (5000, 6)
+
+    def test_constant_volume_density_sweep(self):
+        sizes = []
+        for n, circuit in density_sweep([1000, 2000, 3000], seed=0):
+            assert len(circuit) == n
+            assert np.array_equal(circuit.space_mbr, space_box())
+            sizes.append(n)
+        assert sizes == [1000, 2000, 3000]
+
+    def test_paper_density_steps_shape(self):
+        assert PAPER_DENSITY_STEPS == (50, 100, 150, 200, 250, 300, 350, 400, 450)
+
+    def test_elements_stay_in_volume(self):
+        circuit = build_microcircuit(3000, seed=1)
+        space = circuit.space_mbr
+        mbrs = circuit.mbrs()
+        # Centers must be inside; MBRs may poke out by a radius.
+        centers = (mbrs[:, :3] + mbrs[:, 3:]) / 2
+        assert (centers >= space[:3] - 2).all()
+        assert (centers <= space[3:] + 2).all()
+
+    def test_density_actually_increases(self):
+        # Same volume, more elements => more elements per sub-box.
+        sparse = build_microcircuit(1000, seed=2).mbrs()
+        dense = build_microcircuit(8000, seed=2).mbrs()
+        probe = np.array([100.0, 100, 100, 180, 180, 180])
+        from repro.geometry import boxes_intersect_box
+
+        assert boxes_intersect_box(dense, probe).sum() > boxes_intersect_box(
+            sparse, probe
+        ).sum()
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(ValueError):
+            build_microcircuit(0)
+
+    def test_invalid_side_rejected(self):
+        with pytest.raises(ValueError):
+            space_box(-1.0)
+
+
+class TestUniform:
+    def test_cubes_have_requested_volume(self):
+        mbrs = uniform_cubes(500, edge=3.0, seed=0)
+        assert np.allclose(mbr_volume(mbrs), 27.0)
+
+    def test_cube_positions_fixed_across_edge_change(self):
+        small = uniform_cubes(100, edge=1.0, seed=5)
+        big = uniform_cubes(100, edge=5.0, seed=5)
+        assert np.allclose(
+            (small[:, :3] + small[:, 3:]) / 2, (big[:, :3] + big[:, 3:]) / 2
+        )
+
+    def test_aspect_boxes_constant_volume(self):
+        mbrs = uniform_aspect_boxes(800, target_volume=18.0, seed=1)
+        assert np.allclose(mbr_volume(mbrs), 18.0, rtol=1e-9)
+
+    def test_aspect_boxes_vary_aspect(self):
+        mbrs = uniform_aspect_boxes(800, target_volume=18.0, seed=2)
+        ext = mbrs[:, 3:] - mbrs[:, :3]
+        ratios = ext.max(axis=1) / ext.min(axis=1)
+        assert ratios.max() > 3.0  # genuinely anisotropic
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            uniform_cubes(0, edge=1.0)
+        with pytest.raises(ValueError):
+            uniform_cubes(10, edge=-1.0)
+        with pytest.raises(ValueError):
+            uniform_aspect_boxes(10, target_volume=0)
+        with pytest.raises(ValueError):
+            uniform_aspect_boxes(10, length_range=(5.0, 1.0))
+
+
+class TestNBody:
+    def test_point_count_and_bounds(self):
+        cfg = NBodyConfig(n_points=4000, side=1000.0)
+        pts = nbody_points(cfg, seed=0)
+        assert pts.shape == (4000, 3)
+        assert (pts >= 0).all() and (pts <= 1000).all()
+
+    def test_clustering_is_real(self):
+        # Clustered snapshots concentrate many points in small balls;
+        # compare the 99th percentile local density against uniform.
+        cfg = NBodyConfig(n_points=5000, side=1000.0, clustered_fraction=0.9)
+        clustered = nbody_points(cfg, seed=1)
+        rng = np.random.default_rng(2)
+        uniform = rng.uniform(0, 1000, size=(5000, 3))
+
+        def max_ball_count(pts):
+            # Count points near the densest sampled point.
+            sample = pts[rng.integers(0, len(pts), size=200)]
+            dist = np.linalg.norm(pts[None, :, :] - sample[:, None, :], axis=2)
+            return (dist < 20.0).sum(axis=1).max()
+
+        assert max_ball_count(clustered) > 3 * max_ball_count(uniform)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NBodyConfig(n_points=0)
+        with pytest.raises(ValueError):
+            NBodyConfig(n_points=10, clustered_fraction=1.5)
+        with pytest.raises(ValueError):
+            NBodyConfig(n_points=10, softening=0)
+
+
+class TestMesh:
+    def test_triangle_count_close_to_request(self):
+        tris = deformed_sphere_mesh(2000, seed=0)
+        assert 0.5 * 2000 <= len(tris) <= 2.0 * 2000
+
+    def test_mesh_is_hollow(self):
+        # A surface mesh has no triangles near the centroid.
+        tris = deformed_sphere_mesh(3000, radius=100.0, deformation=0.1, seed=1)
+        centers = tris.mean(axis=1)
+        centroid = centers.mean(axis=0)
+        dist = np.linalg.norm(centers - centroid, axis=1)
+        assert dist.min() > 30.0
+
+    def test_mbrs_shape(self):
+        mbrs = mesh_mbrs(1500, seed=2)
+        assert mbrs.shape[1] == 6
+        assert (mbrs[:, :3] <= mbrs[:, 3:]).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            deformed_sphere_mesh(2)
+        with pytest.raises(ValueError):
+            deformed_sphere_mesh(100, radius=0)
+        with pytest.raises(ValueError):
+            deformed_sphere_mesh(100, deformation=-1)
+
+
+class TestRegistry:
+    def test_all_named_datasets_generate(self):
+        for name in DATASET_ORDER:
+            mbrs = dataset_mbrs(name, scale=0.05, seed=0)
+            assert mbrs.shape[1] == 6
+            assert len(mbrs) >= 100
+
+    def test_relative_sizes_preserved(self):
+        dm = dataset_mbrs("nuage_dark_matter", scale=0.1)
+        stars = dataset_mbrs("nuage_stars", scale=0.1)
+        lucy = dataset_mbrs("lucy_statue", scale=0.1)
+        assert len(stars) < len(dm) < len(lucy)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            dataset_mbrs("andromeda")
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ValueError):
+            dataset_mbrs("nuage_gas", scale=0)

@@ -1,0 +1,98 @@
+"""Tests for the neuron morphology generator."""
+
+import numpy as np
+import pytest
+
+from repro.data import MorphologyConfig, grow_neurons, space_box
+
+
+def grow(n_neurons=5, side=285.0, seed=0, **overrides):
+    config = MorphologyConfig(**overrides)
+    rng = np.random.default_rng(seed)
+    space = space_box(side)
+    somata = rng.uniform(space[:3], space[3:], size=(n_neurons, 3))
+    return grow_neurons(somata, config, space, rng), config, space
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        config = MorphologyConfig()
+        assert config.segments_per_neuron == (
+            config.branches_per_neuron * config.segments_per_branch
+        )
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"branches_per_neuron": 0},
+            {"segments_per_branch": 0},
+            {"direction_persistence": 1.5},
+            {"radius_base": 0},
+            {"radius_tip": -1},
+            {"segment_length_mean": 0},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            MorphologyConfig(**kwargs)
+
+
+class TestGrowth:
+    def test_segment_count(self):
+        cylinders, config, _space = grow(n_neurons=7)
+        assert len(cylinders) == 7 * config.segments_per_neuron
+
+    def test_all_vertices_inside_volume(self):
+        cylinders, _config, space = grow(n_neurons=10, seed=1)
+        for pts in (cylinders.p0, cylinders.p1):
+            assert (pts >= space[:3] - 1e-9).all()
+            assert (pts <= space[3:] + 1e-9).all()
+
+    def test_branches_are_connected_chains(self):
+        # Within a branch, segment i's end is segment i+1's start.
+        cylinders, config, _space = grow(n_neurons=2, seed=2)
+        k = config.segments_per_branch
+        p0 = cylinders.p0.reshape(-1, k, 3)
+        p1 = cylinders.p1.reshape(-1, k, 3)
+        assert np.allclose(p1[:, :-1], p0[:, 1:])
+
+    def test_radii_taper(self):
+        cylinders, config, _space = grow(n_neurons=1, seed=3)
+        k = config.segments_per_branch
+        r0 = cylinders.r0.reshape(-1, k)
+        assert np.allclose(r0[:, 0], config.radius_base)
+        assert (np.diff(r0, axis=1) < 0).all()
+
+    def test_deterministic_for_same_seed(self):
+        a, _c, _s = grow(n_neurons=3, seed=42)
+        b, _c, _s = grow(n_neurons=3, seed=42)
+        assert np.array_equal(a.p0, b.p0)
+        assert np.array_equal(a.p1, b.p1)
+
+    def test_different_seeds_differ(self):
+        a, _c, _s = grow(n_neurons=3, seed=1)
+        b, _c, _s = grow(n_neurons=3, seed=2)
+        assert not np.array_equal(a.p0, b.p0)
+
+    def test_mbrs_well_formed(self):
+        cylinders, _config, _space = grow(n_neurons=4, seed=4)
+        mbrs = cylinders.mbrs()
+        assert mbrs.shape == (len(cylinders), 6)
+        assert (mbrs[:, :3] <= mbrs[:, 3:]).all()
+
+    def test_fiber_locality(self):
+        # Consecutive segments along a fiber must be close together —
+        # the spatial correlation that makes brain data crawlable.
+        cylinders, config, _space = grow(n_neurons=3, seed=5)
+        seg_centers = (cylinders.p0 + cylinders.p1) / 2
+        k = config.segments_per_branch
+        per_branch = seg_centers.reshape(-1, k, 3)
+        step = np.linalg.norm(np.diff(per_branch, axis=1), axis=2)
+        # Bounded by segment length scale (reflection can double a step).
+        assert step.mean() < 3 * config.segment_length_mean
+
+    def test_invalid_somata_shape(self):
+        config = MorphologyConfig()
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            grow_neurons(np.zeros((3, 2)), config, space_box(), rng)

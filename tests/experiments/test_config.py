@@ -1,0 +1,54 @@
+"""Tests for experiment configuration."""
+
+import pytest
+
+from repro.experiments import (
+    DEFAULT_CONFIG,
+    ExperimentConfig,
+    FULL_CONFIG,
+    SMALL_CONFIG,
+)
+from repro.experiments.config import DEPTH_MATCHED_CONFIG
+from repro.storage import NODE_FANOUT
+
+
+class TestExperimentConfig:
+    def test_default_has_nine_density_steps(self):
+        # The paper sweeps nine densities (50M..450M); the scaled
+        # default preserves the nine-step design.
+        assert len(DEFAULT_CONFIG.density_steps) == 9
+        assert len(FULL_CONFIG.density_steps) == 9
+
+    def test_default_steps_are_evenly_spaced(self):
+        steps = DEFAULT_CONFIG.density_steps
+        diffs = {b - a for a, b in zip(steps, steps[1:])}
+        assert len(diffs) == 1
+
+    def test_small_config_is_smaller(self):
+        assert max(SMALL_CONFIG.density_steps) < min(DEFAULT_CONFIG.density_steps)
+        assert SMALL_CONFIG.query_count < DEFAULT_CONFIG.query_count
+
+    def test_default_uses_full_page_fanout(self):
+        assert DEFAULT_CONFIG.node_fanout == NODE_FANOUT
+
+    def test_depth_matched_lowers_fanout(self):
+        assert DEPTH_MATCHED_CONFIG.node_fanout < NODE_FANOUT
+
+    def test_query_fraction_ratio_is_paper_1000x(self):
+        assert DEFAULT_CONFIG.lss_fraction / DEFAULT_CONFIG.sn_fraction == pytest.approx(
+            1000.0
+        )
+
+    def test_with_overrides(self):
+        cfg = DEFAULT_CONFIG.with_overrides(query_count=5)
+        assert cfg.query_count == 5
+        assert cfg.density_steps == DEFAULT_CONFIG.density_steps
+        assert DEFAULT_CONFIG.query_count == 200  # original untouched
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(density_steps=())
+        with pytest.raises(ValueError):
+            ExperimentConfig(density_steps=(0,))
+        with pytest.raises(ValueError):
+            ExperimentConfig(query_count=0)

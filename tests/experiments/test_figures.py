@@ -1,0 +1,65 @@
+"""Smoke + structure tests for every figure experiment (tiny config)."""
+
+import pytest
+
+from repro.experiments import ExperimentConfig
+from repro.experiments import registry
+from repro.experiments.base import ExperimentResult
+
+#: Tiny but dense enough that the headline shapes are visible.
+TINY = ExperimentConfig(
+    density_steps=(2_000, 4_000, 6_000),
+    volume_side=13.0,
+    query_count=12,
+    point_query_count=12,
+    node_fanout=7,
+    dataset_scale=0.08,
+)
+
+ALL_IDS = sorted(registry.EXPERIMENTS)
+
+
+class TestRegistry:
+    def test_expected_experiment_ids(self):
+        expected = {
+            "fig02", "fig03", "fig04", "fig10", "fig11", "fig12", "fig13",
+            "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20",
+            "fig21", "fig22", "fig23", "sec7e-vol", "sec7e-ar", "sec7e2",
+        }
+        assert set(registry.EXPERIMENTS) == expected
+
+    def test_titles_are_nonempty(self):
+        for title, fn in registry.EXPERIMENTS.values():
+            assert title
+            assert callable(fn)
+
+
+@pytest.mark.parametrize("experiment_id", ALL_IDS)
+def test_every_experiment_runs_and_is_well_formed(experiment_id):
+    _title, fn = registry.EXPERIMENTS[experiment_id]
+    result = fn(TINY)
+    assert isinstance(result, ExperimentResult)
+    assert result.experiment_id == experiment_id
+    assert result.rows, "experiment produced no rows"
+    width = len(result.headers)
+    assert all(len(row) == width for row in result.rows)
+    assert result.checks, "experiment defines no shape checks"
+    # Rendering must never crash.
+    table = result.table()
+    assert experiment_id in table
+    csv = result.csv()
+    assert csv.count("\n") == len(result.rows) + 1
+
+
+def test_density_figures_have_one_row_per_step():
+    for experiment_id in ["fig02", "fig11", "fig12", "fig15", "fig16", "fig19"]:
+        _title, fn = registry.EXPERIMENTS[experiment_id]
+        result = fn(TINY)
+        assert len(result.rows) == len(TINY.density_steps)
+
+
+def test_dataset_tables_have_one_row_per_dataset():
+    for experiment_id in ["fig22", "fig23"]:
+        _title, fn = registry.EXPERIMENTS[experiment_id]
+        result = fn(TINY)
+        assert len(result.rows) == 5

@@ -1,0 +1,94 @@
+"""Tests for the shared density-sweep engine (tiny configuration)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import ExperimentConfig
+from repro.experiments.sweeps import (
+    FLAT,
+    cached_sweep,
+    clear_sweep_cache,
+    run_density_sweep,
+)
+
+TINY = ExperimentConfig(
+    density_steps=(1_500, 3_000),
+    volume_side=9.0,
+    query_count=8,
+    point_query_count=8,
+    node_fanout=7,
+    dataset_scale=0.05,
+)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_density_sweep(TINY)
+
+
+class TestSweepStructure:
+    def test_one_step_per_density(self, sweep):
+        assert [s.n_elements for s in sweep.steps] == [1_500, 3_000]
+
+    def test_every_index_measured(self, sweep):
+        for step in sweep.steps:
+            assert set(step.indexes) == {FLAT, "hilbert", "str", "prtree"}
+
+    def test_all_runs_populated(self, sweep):
+        for step in sweep.steps:
+            for obs in step.indexes.values():
+                assert obs.point_run.query_count == 8
+                assert obs.sn_run.query_count == 8
+                assert obs.lss_run.query_count == 8
+                assert obs.build_seconds > 0
+                assert obs.total_bytes > 0
+
+    def test_flat_has_breakdown_and_pointers(self, sweep):
+        for step in sweep.steps:
+            flat = step.indexes[FLAT]
+            assert set(flat.build_breakdown) == {
+                "partitioning",
+                "finding_neighbors",
+                "packing",
+            }
+            assert len(flat.pointer_counts) > 0
+
+    def test_identical_results_across_indexes(self, sweep):
+        # All four indexes must return the same result counts per query —
+        # the correctness backbone of every comparison figure.
+        for step in sweep.steps:
+            reference = step.indexes[FLAT].sn_run.per_query_results
+            for name, obs in step.indexes.items():
+                assert obs.sn_run.per_query_results == reference, name
+                assert (
+                    obs.lss_run.per_query_results
+                    == step.indexes[FLAT].lss_run.per_query_results
+                )
+
+    def test_payload_vs_hierarchy_partition(self, sweep):
+        for step in sweep.steps:
+            for obs in step.indexes.values():
+                assert obs.payload_bytes() + obs.hierarchy_bytes() == obs.total_bytes
+
+    def test_series_helper(self, sweep):
+        series = list(sweep.series("str"))
+        assert [n for n, _obs in series] == [1_500, 3_000]
+
+
+class TestSweepCache:
+    def test_cached_sweep_reuses_result(self):
+        clear_sweep_cache()
+        first = cached_sweep(TINY)
+        second = cached_sweep(TINY)
+        assert first is second
+        clear_sweep_cache()
+        third = cached_sweep(TINY)
+        assert third is not first
+        clear_sweep_cache()
+
+    def test_different_config_different_sweep(self):
+        clear_sweep_cache()
+        a = cached_sweep(TINY)
+        b = cached_sweep(TINY.with_overrides(query_count=4))
+        assert a is not b
+        clear_sweep_cache()

@@ -1,0 +1,77 @@
+"""Unit tests for the vectorized intersection predicates."""
+
+import numpy as np
+
+from repro.geometry import (
+    boxes_contained_in_box,
+    boxes_intersect_box,
+    boxes_intersect_point,
+    pairwise_intersects,
+)
+
+
+def box(lo, hi):
+    return np.array(list(lo) + list(hi), dtype=np.float64)
+
+
+QUERY = box((0, 0, 0), (10, 10, 10))
+
+
+class TestBoxesIntersectBox:
+    def test_basic_mask(self):
+        batch = np.stack(
+            [
+                box((1, 1, 1), (2, 2, 2)),       # inside
+                box((9, 9, 9), (12, 12, 12)),    # straddles corner
+                box((10, 0, 0), (11, 1, 1)),     # touches face
+                box((11, 11, 11), (12, 12, 12)), # outside
+            ]
+        )
+        assert boxes_intersect_box(batch, QUERY).tolist() == [True, True, True, False]
+
+    def test_empty_batch(self):
+        assert boxes_intersect_box(np.empty((0, 6)), QUERY).shape == (0,)
+
+    def test_disjoint_on_single_axis_only(self):
+        b = box((2, 2, 11), (3, 3, 12))  # overlaps x and y, not z
+        assert not boxes_intersect_box(np.stack([b]), QUERY)[0]
+
+
+class TestBoxesContainedInBox:
+    def test_containment_mask(self):
+        batch = np.stack(
+            [
+                box((1, 1, 1), (2, 2, 2)),
+                box((0, 0, 0), (10, 10, 10)),  # equal => contained
+                box((-1, 1, 1), (2, 2, 2)),    # pokes out
+            ]
+        )
+        assert boxes_contained_in_box(batch, QUERY).tolist() == [True, True, False]
+
+
+class TestBoxesIntersectPoint:
+    def test_point_mask(self):
+        batch = np.stack([box((0, 0, 0), (1, 1, 1)), box((2, 2, 2), (3, 3, 3))])
+        mask = boxes_intersect_point(batch, np.array([1.0, 1.0, 1.0]))
+        assert mask.tolist() == [True, False]
+
+
+class TestPairwise:
+    def test_matches_broadcast_definition(self):
+        rng = np.random.default_rng(3)
+        lo_a = rng.uniform(0, 8, size=(12, 3))
+        a = np.concatenate([lo_a, lo_a + rng.uniform(0.1, 3, size=(12, 3))], axis=1)
+        lo_b = rng.uniform(0, 8, size=(9, 3))
+        b = np.concatenate([lo_b, lo_b + rng.uniform(0.1, 3, size=(9, 3))], axis=1)
+        mat = pairwise_intersects(a, b)
+        assert mat.shape == (12, 9)
+        for i in range(12):
+            assert np.array_equal(mat[i], boxes_intersect_box(b, a[i]))
+
+    def test_symmetry_on_self(self):
+        rng = np.random.default_rng(5)
+        lo = rng.uniform(0, 5, size=(10, 3))
+        batch = np.concatenate([lo, lo + 1.0], axis=1)
+        mat = pairwise_intersects(batch, batch)
+        assert np.array_equal(mat, mat.T)
+        assert mat.diagonal().all()

@@ -1,0 +1,195 @@
+"""Unit tests for the MBR arithmetic core."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import (
+    MBR,
+    mbr_area_surface,
+    mbr_center,
+    mbr_contains_mbr,
+    mbr_contains_point,
+    mbr_empty,
+    mbr_from_points,
+    mbr_intersection,
+    mbr_intersects,
+    mbr_margin,
+    mbr_overlap_volume,
+    mbr_union,
+    mbr_union_many,
+    mbr_volume,
+    validate_mbrs,
+)
+
+
+def box(lo, hi):
+    return np.array(list(lo) + list(hi), dtype=np.float64)
+
+
+UNIT = box((0, 0, 0), (1, 1, 1))
+
+
+class TestMBRClass:
+    def test_volume(self):
+        assert MBR((0, 0, 0), (1, 2, 3)).volume() == pytest.approx(6.0)
+
+    def test_degenerate_volume_is_zero(self):
+        assert MBR((1, 1, 1), (1, 2, 3)).volume() == 0.0
+
+    def test_inverted_corners_rejected(self):
+        with pytest.raises(ValueError):
+            MBR((1, 0, 0), (0, 1, 1))
+
+    def test_from_array_shape_check(self):
+        with pytest.raises(ValueError):
+            MBR.from_array([0, 0, 0, 1, 1])
+
+    def test_center_and_extents(self):
+        m = MBR((0, 0, 0), (2, 4, 6))
+        assert np.allclose(m.center(), [1, 2, 3])
+        assert np.allclose(m.extents(), [2, 4, 6])
+
+    def test_intersects_touching_faces(self):
+        a = MBR((0, 0, 0), (1, 1, 1))
+        b = MBR((1, 0, 0), (2, 1, 1))
+        assert a.intersects(b)
+        assert b.intersects(a)
+
+    def test_disjoint(self):
+        a = MBR((0, 0, 0), (1, 1, 1))
+        b = MBR((1.01, 0, 0), (2, 1, 1))
+        assert not a.intersects(b)
+
+    def test_contains(self):
+        outer = MBR((0, 0, 0), (10, 10, 10))
+        inner = MBR((1, 1, 1), (2, 2, 2))
+        assert outer.contains(inner)
+        assert not inner.contains(outer)
+        assert outer.contains(outer)
+
+    def test_contains_point_boundary(self):
+        m = MBR((0, 0, 0), (1, 1, 1))
+        assert m.contains_point((1, 1, 1))
+        assert m.contains_point((0, 0.5, 0.3))
+        assert not m.contains_point((1.0001, 0.5, 0.5))
+
+    def test_union(self):
+        a = MBR((0, 0, 0), (1, 1, 1))
+        b = MBR((2, 2, 2), (3, 3, 3))
+        u = a.union(b)
+        assert u == MBR((0, 0, 0), (3, 3, 3))
+
+    def test_stretched_to_include_is_union(self):
+        a = MBR((0, 0, 0), (1, 1, 1))
+        b = MBR((0.5, 0.5, 0.5), (2, 2, 2))
+        assert a.stretched_to_include(b) == a.union(b)
+
+    def test_equality_and_hash(self):
+        a = MBR((0, 0, 0), (1, 1, 1))
+        b = MBR((0, 0, 0), (1, 1, 1))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != MBR((0, 0, 0), (1, 1, 2))
+
+    def test_repr_round_trip_corners(self):
+        m = MBR((0, -1, 2.5), (1, 0, 3.5))
+        assert "MBR" in repr(m)
+
+    def test_array_is_readonly(self):
+        m = MBR((0, 0, 0), (1, 1, 1))
+        with pytest.raises(ValueError):
+            m.array[0] = 5.0
+
+
+class TestBatchFunctions:
+    def test_mbr_empty_is_union_identity(self):
+        e = mbr_empty()
+        assert np.array_equal(mbr_union(e, UNIT), UNIT)
+
+    def test_mbr_from_points(self):
+        pts = np.array([[0, 5, 1], [2, 1, 3], [1, 2, -1]], dtype=float)
+        assert np.array_equal(mbr_from_points(pts), box((0, 1, -1), (2, 5, 3)))
+
+    def test_mbr_from_points_rejects_empty(self):
+        with pytest.raises(ValueError):
+            mbr_from_points(np.empty((0, 3)))
+
+    def test_volume_batch(self):
+        batch = np.stack([UNIT, box((0, 0, 0), (2, 2, 2))])
+        assert np.allclose(mbr_volume(batch), [1.0, 8.0])
+
+    def test_margin(self):
+        assert mbr_margin(box((0, 0, 0), (1, 2, 3))) == pytest.approx(6.0)
+
+    def test_surface_area(self):
+        assert mbr_area_surface(box((0, 0, 0), (1, 2, 3))) == pytest.approx(22.0)
+
+    def test_center_batch(self):
+        batch = np.stack([UNIT, box((0, 0, 0), (2, 4, 6))])
+        assert np.allclose(mbr_center(batch), [[0.5, 0.5, 0.5], [1, 2, 3]])
+
+    def test_intersects_broadcast(self):
+        batch = np.stack(
+            [UNIT, box((2, 2, 2), (3, 3, 3)), box((0.5, 0.5, 0.5), (0.6, 0.6, 0.6))]
+        )
+        mask = mbr_intersects(batch, UNIT)
+        assert mask.tolist() == [True, False, True]
+
+    def test_contains_mbr_broadcast(self):
+        outer = box((0, 0, 0), (10, 10, 10))
+        batch = np.stack([UNIT, box((5, 5, 5), (11, 11, 11))])
+        assert mbr_contains_mbr(outer, batch).tolist() == [True, False]
+
+    def test_contains_point_batch(self):
+        batch = np.stack([UNIT, box((2, 2, 2), (3, 3, 3))])
+        assert mbr_contains_point(batch, np.array([0.5, 0.5, 0.5])).tolist() == [
+            True,
+            False,
+        ]
+
+    def test_union_many(self):
+        batch = np.stack([UNIT, box((-1, 0, 0), (0.5, 2, 0.5))])
+        assert np.array_equal(mbr_union_many(batch), box((-1, 0, 0), (1, 2, 1)))
+
+    def test_union_many_rejects_empty(self):
+        with pytest.raises(ValueError):
+            mbr_union_many(np.empty((0, 6)))
+
+    def test_intersection_box(self):
+        a = box((0, 0, 0), (2, 2, 2))
+        b = box((1, 1, 1), (3, 3, 3))
+        assert np.array_equal(mbr_intersection(a, b), box((1, 1, 1), (2, 2, 2)))
+
+    def test_overlap_volume_disjoint_is_zero(self):
+        a = box((0, 0, 0), (1, 1, 1))
+        b = box((5, 5, 5), (6, 6, 6))
+        assert mbr_overlap_volume(a, b) == 0.0
+
+    def test_overlap_volume_partial(self):
+        a = box((0, 0, 0), (2, 2, 2))
+        b = box((1, 1, 1), (3, 3, 3))
+        assert mbr_overlap_volume(a, b) == pytest.approx(1.0)
+
+
+class TestValidate:
+    def test_valid_batch_passes(self):
+        batch = np.stack([UNIT, box((1, 2, 3), (4, 5, 6))])
+        out = validate_mbrs(batch)
+        assert out.flags["C_CONTIGUOUS"]
+        assert out.dtype == np.float64
+
+    def test_wrong_shape(self):
+        with pytest.raises(ValueError):
+            validate_mbrs(np.zeros((3, 5)))
+
+    def test_nan_rejected(self):
+        bad = np.stack([UNIT])
+        bad[0, 0] = np.nan
+        with pytest.raises(ValueError):
+            validate_mbrs(bad)
+
+    def test_inverted_rejected_with_index(self):
+        bad = np.stack([UNIT, box((0, 0, 0), (1, 1, 1))])
+        bad[1, 3] = -1.0
+        with pytest.raises(ValueError, match="MBR 1"):
+            validate_mbrs(bad)

@@ -1,0 +1,106 @@
+"""Property-based tests (hypothesis) for the geometry kernel."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.geometry import (
+    mbr_contains_mbr,
+    mbr_intersection,
+    mbr_intersects,
+    mbr_overlap_volume,
+    mbr_union,
+    mbr_volume,
+)
+
+coord = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, width=64)
+
+
+@st.composite
+def mbrs(draw):
+    lo = np.array(draw(st.tuples(coord, coord, coord)), dtype=np.float64)
+    ext = np.array(
+        draw(
+            st.tuples(
+                st.floats(0, 1e3), st.floats(0, 1e3), st.floats(0, 1e3)
+            )
+        ),
+        dtype=np.float64,
+    )
+    return np.concatenate([lo, lo + ext])
+
+
+@given(mbrs(), mbrs())
+def test_intersects_is_symmetric(a, b):
+    assert mbr_intersects(a, b) == mbr_intersects(b, a)
+
+
+@given(mbrs())
+def test_box_intersects_itself(a):
+    assert mbr_intersects(a, a)
+
+
+@given(mbrs(), mbrs())
+def test_union_contains_both(a, b):
+    u = mbr_union(a, b)
+    assert mbr_contains_mbr(u, a)
+    assert mbr_contains_mbr(u, b)
+
+
+@given(mbrs(), mbrs())
+def test_union_is_commutative(a, b):
+    assert np.array_equal(mbr_union(a, b), mbr_union(b, a))
+
+
+@given(mbrs(), mbrs(), mbrs())
+def test_union_is_associative(a, b, c):
+    left = mbr_union(mbr_union(a, b), c)
+    right = mbr_union(a, mbr_union(b, c))
+    assert np.allclose(left, right)
+
+
+@given(mbrs(), mbrs())
+def test_intersection_contained_in_both_when_intersecting(a, b):
+    if mbr_intersects(a, b):
+        inter = mbr_intersection(a, b)
+        assert mbr_contains_mbr(a, inter)
+        assert mbr_contains_mbr(b, inter)
+
+
+@given(mbrs(), mbrs())
+def test_overlap_volume_zero_iff_volume_disjoint(a, b):
+    v = mbr_overlap_volume(a, b)
+    assert v >= 0.0
+    if not mbr_intersects(a, b):
+        assert v == 0.0
+
+
+@given(mbrs(), mbrs())
+def test_containment_implies_intersection(a, b):
+    if mbr_contains_mbr(a, b):
+        assert mbr_intersects(a, b)
+
+
+@given(mbrs(), mbrs())
+def test_union_volume_at_least_max(a, b):
+    u = mbr_union(a, b)
+    assert mbr_volume(u) >= max(mbr_volume(a), mbr_volume(b)) - 1e-9
+
+
+@settings(max_examples=50)
+@given(
+    hnp.arrays(
+        np.float64,
+        shape=st.tuples(st.integers(1, 30)),
+        elements=st.floats(-100, 100),
+    )
+)
+def test_volume_batch_consistent_with_scalar(xs):
+    # Build degenerate boxes [x, x, x, x+1, x+1, x+1]; batch volume must
+    # equal elementwise scalar volume.
+    lo = np.stack([xs, xs, xs], axis=1)
+    batch = np.concatenate([lo, lo + 1.0], axis=1)
+    vols = mbr_volume(batch)
+    for i in range(len(xs)):
+        assert vols[i] == mbr_volume(batch[i])

@@ -1,0 +1,106 @@
+"""Unit tests for shape → MBR constructors."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import (
+    Box,
+    Cylinder,
+    MBR,
+    Sphere,
+    Triangle,
+    boxes_from_centers,
+    cylinders_to_mbrs,
+    spheres_to_mbrs,
+    triangles_to_mbrs,
+)
+
+
+class TestCylinder:
+    def test_axis_aligned_cylinder(self):
+        c = Cylinder(p0=(0, 0, 0), p1=(0, 0, 10), r0=1.0, r1=1.0)
+        assert c.mbr() == MBR((-1, -1, -1), (1, 1, 11))
+
+    def test_tapered_cylinder_uses_per_end_radius(self):
+        c = Cylinder(p0=(0, 0, 0), p1=(0, 0, 10), r0=1.0, r1=3.0)
+        m = c.mbr()
+        assert np.allclose(m.lo, [-3, -3, -1])
+        assert np.allclose(m.hi, [3, 3, 13])
+
+    def test_oblique_cylinder_contains_both_caps(self):
+        c = Cylinder(p0=(1, 2, 3), p1=(4, 6, 8), r0=0.5, r1=0.25)
+        m = c.mbr()
+        assert m.contains_point((1, 2, 3))
+        assert m.contains_point((4, 6, 8))
+        assert m.contains_point((0.5, 1.5, 2.5))
+
+    def test_zero_length_cylinder_is_sphere_box(self):
+        c = Cylinder(p0=(0, 0, 0), p1=(0, 0, 0), r0=2.0, r1=2.0)
+        assert c.mbr() == MBR((-2, -2, -2), (2, 2, 2))
+
+
+class TestTriangleSphereBox:
+    def test_triangle_mbr(self):
+        t = Triangle((0, 0, 0), (1, 0, 2), (0, 3, 1))
+        assert t.mbr() == MBR((0, 0, 0), (1, 3, 2))
+
+    def test_sphere_mbr(self):
+        s = Sphere((1, 1, 1), 0.5)
+        assert s.mbr() == MBR((0.5, 0.5, 0.5), (1.5, 1.5, 1.5))
+
+    def test_box_mbr_is_identity(self):
+        b = Box((0, 1, 2), (3, 4, 5))
+        assert b.mbr() == MBR((0, 1, 2), (3, 4, 5))
+
+
+class TestBatchConstructors:
+    def test_cylinders_batch_matches_scalar(self):
+        rng = np.random.default_rng(7)
+        p0 = rng.uniform(-5, 5, size=(20, 3))
+        p1 = rng.uniform(-5, 5, size=(20, 3))
+        r0 = rng.uniform(0.1, 2.0, size=20)
+        r1 = rng.uniform(0.1, 2.0, size=20)
+        batch = cylinders_to_mbrs(p0, p1, r0, r1)
+        for i in range(20):
+            scalar = Cylinder(tuple(p0[i]), tuple(p1[i]), r0[i], r1[i]).mbr()
+            assert np.allclose(batch[i], scalar.array)
+
+    def test_cylinders_shape_validation(self):
+        with pytest.raises(ValueError):
+            cylinders_to_mbrs(np.zeros((3, 2)), np.zeros((3, 2)), np.ones(3), np.ones(3))
+
+    def test_triangles_batch_matches_scalar(self):
+        rng = np.random.default_rng(11)
+        verts = rng.uniform(-1, 1, size=(15, 3, 3))
+        batch = triangles_to_mbrs(verts)
+        for i in range(15):
+            scalar = Triangle(*map(tuple, verts[i])).mbr()
+            assert np.allclose(batch[i], scalar.array)
+
+    def test_triangles_shape_validation(self):
+        with pytest.raises(ValueError):
+            triangles_to_mbrs(np.zeros((4, 2, 3)))
+
+    def test_spheres_scalar_radius_broadcast(self):
+        centers = np.array([[0, 0, 0], [1, 1, 1]], dtype=float)
+        batch = spheres_to_mbrs(centers, 0.5)
+        assert np.allclose(batch[0], [-0.5, -0.5, -0.5, 0.5, 0.5, 0.5])
+        assert np.allclose(batch[1], [0.5, 0.5, 0.5, 1.5, 1.5, 1.5])
+
+    def test_spheres_shape_validation(self):
+        with pytest.raises(ValueError):
+            spheres_to_mbrs(np.zeros((5, 2)), 1.0)
+
+    def test_boxes_from_centers(self):
+        centers = np.array([[0, 0, 0]], dtype=float)
+        extents = np.array([[2, 4, 6]], dtype=float)
+        batch = boxes_from_centers(centers, extents)
+        assert np.allclose(batch[0], [-1, -2, -3, 1, 2, 3])
+
+    def test_boxes_from_centers_rejects_negative_extent(self):
+        with pytest.raises(ValueError):
+            boxes_from_centers(np.zeros((1, 3)), -np.ones((1, 3)))
+
+    def test_boxes_from_centers_rejects_mismatch(self):
+        with pytest.raises(ValueError):
+            boxes_from_centers(np.zeros((2, 3)), np.ones((3, 3)))

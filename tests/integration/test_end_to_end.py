@@ -1,0 +1,125 @@
+"""End-to-end integration tests across the whole stack.
+
+These exercise the realistic paths the experiments rely on: generated
+data sets, every index on a shared workload, cold-cache accounting, and
+the invariants that make figure comparisons meaningful.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import FLATIndex, PageStore, bulkload_rtree
+from repro.data import (
+    build_microcircuit,
+    dataset_mbrs,
+    mesh_mbrs,
+    uniform_aspect_boxes,
+)
+from repro.geometry import boxes_intersect_box
+from repro.query import (
+    lss_benchmark,
+    random_range_queries,
+    run_queries,
+    sn_benchmark,
+)
+
+ALL_INDEXES = ("flat", "str", "hilbert", "prtree", "tgs", "rstar")
+
+
+def build_index(name, store, mbrs, space=None):
+    if name == "flat":
+        return FLATIndex.build(store, mbrs, space_mbr=space)
+    return bulkload_rtree(store, mbrs, name)
+
+
+class TestCrossIndexAgreement:
+    @pytest.fixture(scope="class")
+    def circuit(self):
+        circuit = build_microcircuit(6_000, side=13.0, seed=21)
+        return circuit, circuit.mbrs()
+
+    @pytest.mark.parametrize("name", ALL_INDEXES)
+    def test_index_matches_brute_force_on_microcircuit(self, circuit, name):
+        circuit_obj, mbrs = circuit
+        store = PageStore()
+        index = build_index(name, store, mbrs, circuit_obj.space_mbr)
+        queries = random_range_queries(circuit_obj.space_mbr, 2e-3, 15, seed=3)
+        for q in queries:
+            expected = np.flatnonzero(boxes_intersect_box(mbrs, q))
+            assert np.array_equal(index.range_query(q), expected), name
+
+    def test_all_indexes_agree_on_mesh_data(self):
+        mbrs = mesh_mbrs(4_000, radius=80.0, deformation=0.4, seed=22)
+        space = np.concatenate([mbrs[:, :3].min(axis=0), mbrs[:, 3:].max(axis=0)])
+        queries = random_range_queries(space, 1e-3, 10, seed=23)
+        results = {}
+        for name in ("flat", "str", "prtree"):
+            index = build_index(name, PageStore(), mbrs, space)
+            results[name] = [index.range_query(q).tolist() for q in queries]
+        assert results["flat"] == results["str"] == results["prtree"]
+
+    def test_all_indexes_agree_on_anisotropic_data(self):
+        mbrs = uniform_aspect_boxes(3_000, target_volume=50.0, seed=24)
+        space = np.concatenate([mbrs[:, :3].min(axis=0), mbrs[:, 3:].max(axis=0)])
+        queries = random_range_queries(space, 5e-4, 10, seed=25)
+        flat = build_index("flat", PageStore(), mbrs, space)
+        tree = build_index("hilbert", PageStore(), mbrs, space)
+        for q in queries:
+            assert np.array_equal(flat.range_query(q), tree.range_query(q))
+
+
+class TestBenchmarkPipeline:
+    def test_sn_and_lss_runs_are_consistent(self):
+        circuit = build_microcircuit(8_000, side=14.0, seed=26)
+        mbrs = circuit.mbrs()
+        store = PageStore()
+        flat = FLATIndex.build(store, mbrs, space_mbr=circuit.space_mbr)
+
+        sn = run_queries(
+            flat, store, sn_benchmark(query_count=25).queries(circuit.space_mbr, 1)
+        )
+        lss = run_queries(
+            flat, store, lss_benchmark(query_count=25).queries(circuit.space_mbr, 1)
+        )
+        # LSS queries are 1000x the volume: more results and more reads.
+        assert lss.result_elements > sn.result_elements
+        assert lss.total_page_reads > sn.total_page_reads
+        # Accounting identities.
+        for run in (sn, lss):
+            assert run.total_page_reads == sum(run.per_query_reads)
+            assert run.result_elements == sum(run.per_query_results)
+            assert run.hierarchy_reads + run.payload_reads == run.total_page_reads
+
+    def test_registry_dataset_round_trip(self):
+        mbrs = dataset_mbrs("nuage_stars", scale=0.05, seed=1)
+        space = np.concatenate([mbrs[:, :3].min(axis=0), mbrs[:, 3:].max(axis=0)])
+        flat = FLATIndex.build(PageStore(), mbrs, space_mbr=space)
+        whole = flat.range_query(space)
+        assert len(whole) == len(mbrs)
+
+
+class TestColdVsWarm:
+    def test_cache_clearing_changes_io_not_results(self):
+        circuit = build_microcircuit(5_000, side=12.0, seed=27)
+        store = PageStore()
+        flat = FLATIndex.build(store, circuit.mbrs(), space_mbr=circuit.space_mbr)
+        queries = random_range_queries(circuit.space_mbr, 2e-3, 12, seed=28)
+        cold = run_queries(flat, store, queries, clear_cache_between=True)
+        warm = run_queries(flat, store, queries, clear_cache_between=False)
+        assert cold.per_query_results == warm.per_query_results
+        assert warm.total_page_reads < cold.total_page_reads
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(500, 3000), st.integers(0, 2**31))
+def test_flat_equals_str_tree_on_random_microcircuits(n, seed):
+    circuit = build_microcircuit(n, side=11.0, seed=seed % 1000)
+    mbrs = circuit.mbrs()
+    flat = FLATIndex.build(PageStore(), mbrs, space_mbr=circuit.space_mbr)
+    tree = bulkload_rtree(PageStore(), mbrs, "str")
+    rng = np.random.default_rng(seed)
+    lo = rng.uniform(0, 9, size=3)
+    q = np.concatenate([lo, lo + rng.uniform(0.5, 4, size=3)])
+    assert np.array_equal(flat.range_query(q), tree.range_query(q))

@@ -1,0 +1,127 @@
+"""Tests for the cold-cache query executor."""
+
+import numpy as np
+import pytest
+
+from repro.core import FLATIndex
+from repro.query import random_range_queries, run_point_queries, run_queries
+from repro.rtree import bulkload_rtree
+from repro.storage import (
+    CATEGORY_OBJECT,
+    CATEGORY_RTREE_INTERNAL,
+    CATEGORY_RTREE_LEAF,
+    DiskModel,
+    PageStore,
+)
+
+SPACE = np.array([0.0, 0, 0, 100, 100, 100])
+
+
+def random_mbrs(n, seed=0, extent=2.0):
+    rng = np.random.default_rng(seed)
+    lo = rng.uniform(0, 100, size=(n, 3))
+    return np.concatenate([lo, lo + rng.uniform(0.01, extent, size=(n, 3))], axis=1)
+
+
+@pytest.fixture(scope="module")
+def rtree_setup():
+    store = PageStore()
+    mbrs = random_mbrs(3000, seed=0)
+    tree = bulkload_rtree(store, mbrs, "str")
+    return store, mbrs, tree
+
+
+@pytest.fixture(scope="module")
+def flat_setup():
+    store = PageStore()
+    mbrs = random_mbrs(3000, seed=0)
+    index = FLATIndex.build(store, mbrs)
+    return store, mbrs, index
+
+
+class TestRunQueries:
+    def test_aggregates_result_counts(self, rtree_setup):
+        store, mbrs, tree = rtree_setup
+        queries = random_range_queries(SPACE, 1e-3, 20, seed=1)
+        run = run_queries(tree, store, queries, "str")
+        from repro.geometry import boxes_intersect_box
+
+        expected = sum(boxes_intersect_box(mbrs, q).sum() for q in queries)
+        assert run.result_elements == expected
+        assert run.query_count == 20
+        assert len(run.per_query_reads) == 20
+        assert len(run.per_query_results) == 20
+
+    def test_reads_by_category_populated(self, rtree_setup):
+        store, _mbrs, tree = rtree_setup
+        queries = random_range_queries(SPACE, 1e-3, 5, seed=2)
+        run = run_queries(tree, store, queries, "str")
+        assert run.reads_by_category.get(CATEGORY_RTREE_LEAF, 0) > 0
+        assert run.reads_by_category.get(CATEGORY_RTREE_INTERNAL, 0) > 0
+        assert run.total_page_reads == run.hierarchy_reads + run.payload_reads
+
+    def test_cold_cache_rereads_root(self, rtree_setup):
+        store, _mbrs, tree = rtree_setup
+        queries = random_range_queries(SPACE, 1e-4, 10, seed=3)
+        cold = run_queries(tree, store, queries, "str", clear_cache_between=True)
+        warm = run_queries(tree, store, queries, "str", clear_cache_between=False)
+        # Warm run never pays the root again after the first query.
+        assert warm.total_page_reads < cold.total_page_reads
+
+    def test_flat_bookkeeping_collected(self, flat_setup):
+        store, _mbrs, index = flat_setup
+        queries = random_range_queries(SPACE, 1e-3, 8, seed=4)
+        run = run_queries(index, store, queries, "FLAT")
+        assert len(run.bookkeeping_bytes) == 8
+        assert run.reads_by_category.get(CATEGORY_OBJECT, 0) > 0
+
+    def test_pages_per_result(self, flat_setup):
+        store, _mbrs, index = flat_setup
+        queries = random_range_queries(SPACE, 1e-2, 5, seed=5)
+        run = run_queries(index, store, queries, "FLAT")
+        assert run.pages_per_result == pytest.approx(
+            run.total_page_reads / run.result_elements
+        )
+
+    def test_pages_per_result_nan_when_empty(self, rtree_setup):
+        store, _mbrs, tree = rtree_setup
+        queries = np.array([[500.0, 500, 500, 501, 501, 501]])
+        run = run_queries(tree, store, queries, "str")
+        assert np.isnan(run.pages_per_result)
+
+    def test_simulated_seconds_positive(self, rtree_setup):
+        store, _mbrs, tree = rtree_setup
+        queries = random_range_queries(SPACE, 1e-3, 5, seed=6)
+        run = run_queries(tree, store, queries, "str")
+        assert run.simulated_seconds(DiskModel()) > 0
+        assert run.cpu_seconds > 0
+
+    def test_query_shape_validation(self, rtree_setup):
+        store, _mbrs, tree = rtree_setup
+        with pytest.raises(ValueError):
+            run_queries(tree, store, np.zeros((5, 4)))
+
+
+class TestRunPointQueries:
+    def test_point_queries_match_degenerate_boxes(self, rtree_setup):
+        store, mbrs, tree = rtree_setup
+        rng = np.random.default_rng(7)
+        points = rng.uniform(0, 100, size=(10, 3))
+        run = run_point_queries(tree, store, points, "str")
+        from repro.geometry import boxes_intersect_point
+
+        expected = sum(boxes_intersect_point(mbrs, p).sum() for p in points)
+        assert run.result_elements == expected
+
+    def test_point_shape_validation(self, rtree_setup):
+        store, _mbrs, tree = rtree_setup
+        with pytest.raises(ValueError):
+            run_point_queries(tree, store, np.zeros((5, 6)))
+
+    def test_flat_and_rtree_agree(self, rtree_setup, flat_setup):
+        store_r, mbrs, tree = rtree_setup
+        store_f, _mbrs, flat = flat_setup
+        queries = random_range_queries(SPACE, 1e-3, 10, seed=8)
+        run_r = run_queries(tree, store_r, queries, "str")
+        run_f = run_queries(flat, store_f, queries, "FLAT")
+        assert run_r.per_query_results == run_f.per_query_results

@@ -1,0 +1,89 @@
+"""Tests for query workload generation."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import mbr_contains_mbr, mbr_volume
+from repro.query import (
+    lss_benchmark,
+    random_points,
+    random_range_queries,
+    sn_benchmark,
+)
+
+SPACE = np.array([0.0, 0, 0, 285, 285, 285])
+
+
+class TestRandomRangeQueries:
+    def test_count_and_shape(self):
+        q = random_range_queries(SPACE, 1e-4, 50, seed=0)
+        assert q.shape == (50, 6)
+
+    def test_volume_is_fixed(self):
+        q = random_range_queries(SPACE, 1e-4, 100, seed=1)
+        target = 1e-4 * 285.0**3
+        assert np.allclose(mbr_volume(q), target, rtol=1e-9)
+
+    def test_queries_inside_space(self):
+        q = random_range_queries(SPACE, 1e-3, 100, seed=2)
+        for box in q:
+            assert mbr_contains_mbr(SPACE, box)
+
+    def test_aspect_ratio_varies_but_bounded(self):
+        q = random_range_queries(SPACE, 1e-4, 200, seed=3, max_aspect=4.0)
+        ext = q[:, 3:] - q[:, :3]
+        ratio = ext.max(axis=1) / ext.min(axis=1)
+        assert ratio.max() > 1.5
+        assert ratio.max() <= 16.0 + 1e-9  # (4/0.25)
+
+    def test_deterministic_by_seed(self):
+        a = random_range_queries(SPACE, 1e-4, 10, seed=7)
+        b = random_range_queries(SPACE, 1e-4, 10, seed=7)
+        assert np.array_equal(a, b)
+
+    def test_offset_space(self):
+        space = np.array([100.0, 200, 300, 200, 300, 400])
+        q = random_range_queries(space, 1e-3, 50, seed=4)
+        for box in q:
+            assert mbr_contains_mbr(space, box)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            random_range_queries(SPACE, 0.0, 10)
+        with pytest.raises(ValueError):
+            random_range_queries(SPACE, 1e-4, 0)
+        with pytest.raises(ValueError):
+            random_range_queries(SPACE, 1e-4, 10, max_aspect=0.5)
+        with pytest.raises(ValueError):
+            random_range_queries(np.array([0.0, 0, 0, 0, 1, 1]), 1e-4, 10)
+
+
+class TestRandomPoints:
+    def test_points_inside_space(self):
+        pts = random_points(SPACE, 100, seed=0)
+        assert pts.shape == (100, 3)
+        assert (pts >= 0).all() and (pts <= 285).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            random_points(SPACE, 0)
+
+
+class TestBenchmarkSpecs:
+    def test_sn_lss_fraction_ratio_matches_paper(self):
+        # LSS volume is 1000x the SN volume in the paper; the scaled
+        # defaults preserve that ratio.
+        sn = sn_benchmark()
+        lss = lss_benchmark()
+        assert lss.volume_fraction / sn.volume_fraction == pytest.approx(1000.0)
+
+    def test_default_query_count_is_200(self):
+        assert sn_benchmark().query_count == 200
+        assert lss_benchmark().query_count == 200
+
+    def test_spec_materializes_queries(self):
+        spec = sn_benchmark()
+        q = spec.queries(SPACE, seed=5)
+        assert q.shape == (200, 6)
+        target = spec.volume_fraction * 285.0**3
+        assert np.allclose(mbr_volume(q), target, rtol=1e-9)

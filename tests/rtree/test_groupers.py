@@ -1,0 +1,128 @@
+"""Shared contract tests for the bulkloading groupers (STR, Hilbert,
+PR-Tree, TGS): every grouper must partition the element set into groups
+of at most `capacity` with every element exactly once."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rtree import GROUPERS, prtree_groups, str_groups, str_sort_order, tgs_groups
+
+
+def random_mbrs(n, seed=0, extent=2.0):
+    rng = np.random.default_rng(seed)
+    lo = rng.uniform(0, 100, size=(n, 3))
+    return np.concatenate([lo, lo + rng.uniform(0.01, extent, size=(n, 3))], axis=1)
+
+
+ALL_GROUPERS = sorted(GROUPERS)
+
+
+@pytest.mark.parametrize("name", ALL_GROUPERS)
+@pytest.mark.parametrize("n", [1, 5, 84, 85, 86, 170, 1000])
+def test_partition_exact_cover(name, n):
+    mbrs = random_mbrs(n, seed=n)
+    groups = GROUPERS[name](mbrs, 85)
+    concat = np.concatenate(groups)
+    assert np.array_equal(np.sort(concat), np.arange(n))
+    assert all(len(g) <= 85 for g in groups)
+    assert all(len(g) > 0 for g in groups)
+
+
+@pytest.mark.parametrize("name", ALL_GROUPERS)
+def test_empty_input(name):
+    assert GROUPERS[name](np.empty((0, 6)), 85) == []
+
+
+@pytest.mark.parametrize("name", ALL_GROUPERS)
+def test_bad_capacity_rejected(name):
+    with pytest.raises(ValueError):
+        GROUPERS[name](random_mbrs(10), 0)
+
+
+@pytest.mark.parametrize("name", ["str", "prtree", "tgs"])
+def test_bad_shape_rejected(name):
+    with pytest.raises(ValueError):
+        GROUPERS[name](np.zeros((4, 5)), 85)
+
+
+@pytest.mark.parametrize("name", ALL_GROUPERS)
+def test_group_count_near_optimal(name):
+    # 100% target fill: group count should be close to ceil(n/capacity).
+    n, cap = 2000, 85
+    groups = GROUPERS[name](random_mbrs(n, seed=7), cap)
+    optimal = -(-n // cap)
+    assert optimal <= len(groups) <= int(optimal * 1.6) + 6
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.sampled_from(ALL_GROUPERS),
+    st.integers(1, 400),
+    st.integers(1, 120),
+    st.integers(0, 2**31),
+)
+def test_partition_property(name, n, capacity, seed):
+    mbrs = random_mbrs(n, seed=seed)
+    groups = GROUPERS[name](mbrs, capacity)
+    concat = np.concatenate(groups)
+    assert np.array_equal(np.sort(concat), np.arange(n))
+    assert all(0 < len(g) <= capacity for g in groups)
+
+
+class TestSTRSpecifics:
+    def test_tiles_are_spatially_coherent(self):
+        # A regular grid of unit boxes: STR tiles must have near-minimal
+        # bounding volume compared to random assignment.
+        side = 12
+        axes = np.arange(side, dtype=float)
+        centers = np.stack(
+            np.meshgrid(axes, axes, axes, indexing="ij"), axis=-1
+        ).reshape(-1, 3)
+        mbrs = np.concatenate([centers, centers + 1.0], axis=1)
+        groups = str_groups(mbrs, 64)
+        for g in groups:
+            boxes = mbrs[g]
+            vol = np.prod(boxes[:, 3:].max(axis=0) - boxes[:, :3].min(axis=0))
+            # A perfect 4x4x4 tile of unit cubes has volume 125 (5^3 of
+            # corner span); allow generous slack for uneven splits.
+            assert vol < 1000
+
+    def test_sort_order_is_permutation(self):
+        mbrs = random_mbrs(321, seed=3)
+        order = str_sort_order(mbrs, 85)
+        assert np.array_equal(np.sort(order), np.arange(321))
+
+    def test_sort_order_empty(self):
+        assert len(str_sort_order(np.empty((0, 6)), 85)) == 0
+
+
+class TestPRTreeSpecifics:
+    def test_priority_leaf_contains_extreme_element(self):
+        # The element with the globally smallest xmin must land in the
+        # first priority leaf extracted at the root.
+        mbrs = random_mbrs(500, seed=9)
+        extreme = int(np.argmin(mbrs[:, 0]))
+        groups = prtree_groups(mbrs, 10)
+        containing = [g for g in groups if extreme in g]
+        assert len(containing) == 1
+        # Its group must consist of small-xmin elements.
+        xmin_rank = np.argsort(mbrs[:, 0])
+        top = set(xmin_rank[:10].tolist())
+        assert set(containing[0].tolist()) == top
+
+
+class TestTGSSpecifics:
+    def test_separated_clusters_not_mixed(self):
+        # Two distant clusters of page size each: the greedy split must
+        # put them in different groups.
+        rng = np.random.default_rng(11)
+        a_lo = rng.uniform(0, 1, size=(40, 3))
+        b_lo = rng.uniform(100, 101, size=(40, 3))
+        lo = np.concatenate([a_lo, b_lo])
+        mbrs = np.concatenate([lo, lo + 0.1], axis=1)
+        groups = tgs_groups(mbrs, 40)
+        for g in groups:
+            labels = set((g >= 40).tolist())
+            assert len(labels) == 1

@@ -1,0 +1,141 @@
+"""Tests for the 3-D Hilbert curve implementation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rtree import (
+    hilbert_decode,
+    hilbert_groups,
+    hilbert_keys,
+    hilbert_sort_order,
+    quantize_centers,
+)
+
+
+def full_grid(bits):
+    side = 1 << bits
+    axes = np.arange(side)
+    return (
+        np.stack(np.meshgrid(axes, axes, axes, indexing="ij"), axis=-1)
+        .reshape(-1, 3)
+        .astype(np.uint64)
+    )
+
+
+class TestBijection:
+    @pytest.mark.parametrize("bits", [1, 2, 3])
+    def test_keys_are_a_permutation(self, bits):
+        coords = full_grid(bits)
+        keys = hilbert_keys(coords, bits)
+        assert len(np.unique(keys)) == len(coords)
+        assert keys.min() == 0
+        assert keys.max() == len(coords) - 1
+
+    @pytest.mark.parametrize("bits", [1, 2, 3])
+    def test_decode_inverts_encode(self, bits):
+        coords = full_grid(bits)
+        keys = hilbert_keys(coords, bits)
+        back = hilbert_decode(keys, bits)
+        assert np.array_equal(back, coords)
+
+
+class TestCurveContinuity:
+    @pytest.mark.parametrize("bits", [1, 2, 3])
+    def test_consecutive_keys_are_grid_neighbors(self, bits):
+        # The defining property of the Hilbert curve: walking the keys in
+        # order moves exactly one grid step (L1 distance 1) at a time.
+        coords = full_grid(bits)
+        keys = hilbert_keys(coords, bits)
+        walk = coords[np.argsort(keys)].astype(np.int64)
+        steps = np.abs(np.diff(walk, axis=0)).sum(axis=1)
+        assert (steps == 1).all()
+
+    def test_origin_is_key_zero(self):
+        key = hilbert_keys(np.array([[0, 0, 0]], dtype=np.uint64), 4)
+        assert key[0] == 0
+
+
+class TestValidation:
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            hilbert_keys(np.zeros((4, 2), dtype=np.uint64), 4)
+
+    def test_rejects_out_of_grid_coords(self):
+        with pytest.raises(ValueError):
+            hilbert_keys(np.array([[16, 0, 0]], dtype=np.uint64), 4)
+
+    def test_rejects_bad_bits(self):
+        with pytest.raises(ValueError):
+            hilbert_keys(np.zeros((1, 3), dtype=np.uint64), 0)
+        with pytest.raises(ValueError):
+            hilbert_decode(np.zeros(1, dtype=np.uint64), 25)
+
+    def test_decode_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            hilbert_decode(np.zeros((2, 2), dtype=np.uint64), 4)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 255), st.integers(0, 255), st.integers(0, 255)),
+        min_size=1,
+        max_size=50,
+    )
+)
+def test_roundtrip_property_8bit(points):
+    coords = np.array(points, dtype=np.uint64)
+    keys = hilbert_keys(coords, 8)
+    assert np.array_equal(hilbert_decode(keys, 8), coords)
+
+
+class TestQuantizeAndOrder:
+    def test_quantize_maps_to_grid_corners(self):
+        mbrs = np.array(
+            [[0, 0, 0, 2, 2, 2], [10, 10, 10, 12, 12, 12]], dtype=float
+        )
+        grid = quantize_centers(mbrs, bits=8)
+        assert np.array_equal(grid[0], [0, 0, 0])
+        assert np.array_equal(grid[1], [255, 255, 255])
+
+    def test_quantize_handles_degenerate_span(self):
+        # All centers identical: span is zero along every axis.
+        mbrs = np.tile(np.array([[1, 1, 1, 3, 3, 3]], dtype=float), (4, 1))
+        grid = quantize_centers(mbrs, bits=8)
+        assert np.array_equal(grid, np.zeros((4, 3), dtype=np.uint64))
+
+    def test_sort_order_is_permutation(self):
+        rng = np.random.default_rng(0)
+        lo = rng.uniform(0, 100, size=(500, 3))
+        mbrs = np.concatenate([lo, lo + 1], axis=1)
+        order = hilbert_sort_order(mbrs)
+        assert np.array_equal(np.sort(order), np.arange(500))
+
+    def test_sort_order_groups_nearby_elements(self):
+        # Two well-separated clusters must not interleave in curve order.
+        rng = np.random.default_rng(1)
+        a = rng.uniform(0, 1, size=(50, 3))
+        b = rng.uniform(99, 100, size=(50, 3))
+        lo = np.concatenate([a, b])
+        mbrs = np.concatenate([lo, lo + 0.01], axis=1)
+        order = hilbert_sort_order(mbrs)
+        labels = (order >= 50).astype(int)
+        # one transition between the cluster blocks
+        assert np.abs(np.diff(labels)).sum() == 1
+
+    def test_groups_fill_pages_fully(self):
+        rng = np.random.default_rng(2)
+        lo = rng.uniform(0, 10, size=(300, 3))
+        mbrs = np.concatenate([lo, lo + 0.1], axis=1)
+        groups = hilbert_groups(mbrs, 85)
+        sizes = [len(g) for g in groups]
+        assert sizes == [85, 85, 85, 45]
+        assert np.array_equal(
+            np.sort(np.concatenate(groups)), np.arange(300)
+        )
+
+    def test_groups_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            hilbert_groups(np.zeros((1, 6)), 0)

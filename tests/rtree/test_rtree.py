@@ -1,0 +1,180 @@
+"""Tests for the disk-backed R-Tree: construction, queries, accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import boxes_intersect_box, boxes_intersect_point
+from repro.storage import (
+    CATEGORY_RTREE_INTERNAL,
+    CATEGORY_RTREE_LEAF,
+    PageStore,
+)
+from repro.rtree import PAPER_VARIANTS, bulkload_rtree
+
+
+def random_mbrs(n, seed=0, span=100.0, extent=2.0):
+    rng = np.random.default_rng(seed)
+    lo = rng.uniform(0, span, size=(n, 3))
+    return np.concatenate([lo, lo + rng.uniform(0.01, extent, size=(n, 3))], axis=1)
+
+
+def brute_force(mbrs, query):
+    return np.flatnonzero(boxes_intersect_box(mbrs, query))
+
+
+ALL_VARIANTS = sorted(PAPER_VARIANTS) + ["tgs"]
+
+
+@pytest.fixture(params=ALL_VARIANTS)
+def variant(request):
+    return request.param
+
+
+class TestConstruction:
+    def test_structure_valid(self, variant):
+        mbrs = random_mbrs(600, seed=1)
+        store = PageStore()
+        tree = bulkload_rtree(store, mbrs, variant)
+        tree.validate(mbrs)
+
+    def test_single_page_dataset(self, variant):
+        mbrs = random_mbrs(10, seed=2)
+        tree = bulkload_rtree(PageStore(), mbrs, variant)
+        tree.validate(mbrs)
+        assert tree.height == 1
+        assert tree.leaf_count() == 1
+
+    def test_multi_level_height(self, variant):
+        # 85*73 elements would still fit a 2-level tree; force 3 levels.
+        mbrs = random_mbrs(85 * 80, seed=3)
+        tree = bulkload_rtree(PageStore(), mbrs, variant)
+        assert tree.height >= 2
+        tree.validate(mbrs)
+
+    def test_empty_dataset_rejected(self, variant):
+        with pytest.raises(ValueError):
+            bulkload_rtree(PageStore(), np.empty((0, 6)), variant)
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError, match="unknown R-Tree variant"):
+            bulkload_rtree(PageStore(), random_mbrs(5), "btree")
+
+    def test_page_categories(self, variant):
+        store = PageStore()
+        tree = bulkload_rtree(store, random_mbrs(300, seed=4), variant)
+        assert store.pages_in(CATEGORY_RTREE_LEAF) == tree.leaf_count()
+        assert store.pages_in(CATEGORY_RTREE_INTERNAL) == tree.node_count()
+
+
+class TestRangeQuery:
+    def test_matches_brute_force(self, variant):
+        mbrs = random_mbrs(700, seed=5)
+        tree = bulkload_rtree(PageStore(), mbrs, variant)
+        rng = np.random.default_rng(6)
+        for _ in range(25):
+            lo = rng.uniform(0, 90, size=3)
+            query = np.concatenate([lo, lo + rng.uniform(1, 15, size=3)])
+            assert np.array_equal(tree.range_query(query), brute_force(mbrs, query))
+
+    def test_whole_space_query_returns_everything(self, variant):
+        mbrs = random_mbrs(200, seed=7)
+        tree = bulkload_rtree(PageStore(), mbrs, variant)
+        query = np.array([-1e6, -1e6, -1e6, 1e6, 1e6, 1e6])
+        assert np.array_equal(tree.range_query(query), np.arange(200))
+
+    def test_empty_region_returns_nothing(self, variant):
+        mbrs = random_mbrs(200, seed=8)
+        tree = bulkload_rtree(PageStore(), mbrs, variant)
+        query = np.array([500.0, 500, 500, 501, 501, 501])
+        assert len(tree.range_query(query)) == 0
+
+    def test_reads_are_counted(self, variant):
+        store = PageStore()
+        mbrs = random_mbrs(700, seed=9)
+        tree = bulkload_rtree(store, mbrs, variant)
+        store.clear_cache()
+        before = store.stats.snapshot()
+        tree.range_query(np.array([0.0, 0, 0, 50, 50, 50]))
+        delta = store.stats.diff(before)
+        assert delta.total_reads > 0
+        assert delta.reads.get(CATEGORY_RTREE_INTERNAL, 0) >= 1
+
+
+class TestPointQuery:
+    def test_matches_brute_force(self, variant):
+        mbrs = random_mbrs(500, seed=10, extent=8.0)
+        tree = bulkload_rtree(PageStore(), mbrs, variant)
+        rng = np.random.default_rng(11)
+        for _ in range(25):
+            point = rng.uniform(0, 100, size=3)
+            expected = np.flatnonzero(boxes_intersect_point(mbrs, point))
+            assert np.array_equal(tree.point_query(point), expected)
+
+    def test_page_reads_at_least_height(self, variant):
+        store = PageStore()
+        mbrs = random_mbrs(2000, seed=12, extent=10.0)
+        tree = bulkload_rtree(store, mbrs, variant)
+        store.clear_cache()
+        before = store.stats.snapshot()
+        tree.point_query(np.array([50.0, 50, 50]))
+        delta = store.stats.diff(before)
+        assert delta.total_reads >= 1  # at least the root
+
+
+class TestFirstHit:
+    def test_finds_element_when_result_nonempty(self, variant):
+        mbrs = random_mbrs(600, seed=13)
+        tree = bulkload_rtree(PageStore(), mbrs, variant)
+        rng = np.random.default_rng(14)
+        for _ in range(20):
+            lo = rng.uniform(0, 90, size=3)
+            query = np.concatenate([lo, lo + rng.uniform(2, 20, size=3)])
+            expected = brute_force(mbrs, query)
+            hit = tree.first_hit(query)
+            if len(expected):
+                assert hit is not None
+                page_id, ids = hit
+                assert set(ids.tolist()) <= set(expected.tolist())
+            else:
+                assert hit is None
+
+    def test_empty_query_returns_none(self, variant):
+        mbrs = random_mbrs(100, seed=15)
+        tree = bulkload_rtree(PageStore(), mbrs, variant)
+        assert tree.first_hit(np.array([900.0, 900, 900, 901, 901, 901])) is None
+
+    def test_first_hit_cheaper_than_range_query(self):
+        # The seed insight: one path vs all ambiguous paths.
+        store = PageStore()
+        mbrs = random_mbrs(5000, seed=16, extent=6.0)
+        tree = bulkload_rtree(store, mbrs, "str")
+        query = np.array([20.0, 20, 20, 80, 80, 80])
+
+        store.clear_cache()
+        before = store.stats.snapshot()
+        tree.first_hit(query)
+        seed_reads = store.stats.diff(before).total_reads
+
+        store.clear_cache()
+        before = store.stats.snapshot()
+        tree.range_query(query)
+        full_reads = store.stats.diff(before).total_reads
+        assert seed_reads < full_reads
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.sampled_from(ALL_VARIANTS),
+    st.integers(1, 300),
+    st.integers(0, 2**31),
+    st.integers(0, 2**31),
+)
+def test_range_query_equals_brute_force_property(variant, n, data_seed, query_seed):
+    mbrs = random_mbrs(n, seed=data_seed)
+    tree = bulkload_rtree(PageStore(), mbrs, variant)
+    rng = np.random.default_rng(query_seed)
+    lo = rng.uniform(-10, 100, size=3)
+    query = np.concatenate([lo, lo + rng.uniform(0, 40, size=3)])
+    assert np.array_equal(tree.range_query(query), brute_force(mbrs, query))

@@ -1,0 +1,47 @@
+"""Tests for the SAS disk timing model."""
+
+import pytest
+
+from repro.storage import DiskModel
+
+
+class TestDiskModel:
+    def test_random_read_latency_dominated_by_seek_and_rotation(self):
+        model = DiskModel()
+        assert model.random_read_ms == pytest.approx(4.5 + 3.0, abs=0.1)
+
+    def test_io_seconds_scales_linearly(self):
+        model = DiskModel()
+        assert model.io_seconds(200) == pytest.approx(2 * model.io_seconds(100))
+
+    def test_zero_reads_zero_time(self):
+        assert DiskModel().io_seconds(0) == 0.0
+
+    def test_sequential_fraction_reduces_time(self):
+        model = DiskModel()
+        assert model.io_seconds(100, sequential_fraction=0.9) < model.io_seconds(100)
+
+    def test_io_bound_share_high_for_many_reads(self):
+        model = DiskModel()
+        # 10k page reads vs 1s of CPU: I/O clearly dominates, like the
+        # paper's 97.8-98.8% measurement.
+        share = model.io_bound_share(page_reads=10_000, cpu_seconds=1.0)
+        assert share > 0.95
+
+    def test_total_seconds_adds_cpu(self):
+        model = DiskModel()
+        assert model.total_seconds(100, cpu_seconds=1.0) == pytest.approx(
+            model.io_seconds(100) + 1.0
+        )
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            DiskModel(seek_ms=-1)
+        with pytest.raises(ValueError):
+            DiskModel(transfer_mb_per_s=0)
+        with pytest.raises(ValueError):
+            DiskModel().io_seconds(-5)
+        with pytest.raises(ValueError):
+            DiskModel().io_seconds(10, sequential_fraction=1.5)
+        with pytest.raises(ValueError):
+            DiskModel().total_seconds(10, cpu_seconds=-1)

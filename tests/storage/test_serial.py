@@ -1,0 +1,187 @@
+"""Round-trip and layout tests for page serialization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage import (
+    MBR_BYTES,
+    NODE_FANOUT,
+    OBJECT_PAGE_CAPACITY,
+    PAGE_SIZE,
+)
+from repro.storage.serial import (
+    decode_element_page,
+    decode_metadata_page,
+    decode_node_page,
+    encode_element_page,
+    encode_metadata_page,
+    encode_node_page,
+    metadata_record_bytes,
+)
+
+
+def random_mbrs(n, seed=0):
+    rng = np.random.default_rng(seed)
+    lo = rng.uniform(-100, 100, size=(n, 3))
+    return np.concatenate([lo, lo + rng.uniform(0, 10, size=(n, 3))], axis=1)
+
+
+class TestLayoutConstants:
+    def test_paper_page_geometry(self):
+        assert PAGE_SIZE == 4096
+        assert MBR_BYTES == 48
+        assert OBJECT_PAGE_CAPACITY == 85
+
+    def test_node_fanout_fits_page(self):
+        assert 16 + NODE_FANOUT * 56 <= PAGE_SIZE
+
+
+class TestElementPage:
+    def test_round_trip(self):
+        mbrs = random_mbrs(85)
+        page = encode_element_page(mbrs)
+        assert len(page) == PAGE_SIZE
+        assert np.array_equal(decode_element_page(page), mbrs)
+
+    def test_partial_page_round_trip(self):
+        mbrs = random_mbrs(3)
+        assert np.array_equal(decode_element_page(encode_element_page(mbrs)), mbrs)
+
+    def test_empty_page(self):
+        page = encode_element_page(np.empty((0, 6)))
+        assert decode_element_page(page).shape == (0, 6)
+
+    def test_overfull_rejected(self):
+        with pytest.raises(ValueError):
+            encode_element_page(random_mbrs(86))
+
+    def test_wrong_width_rejected(self):
+        with pytest.raises(ValueError):
+            encode_element_page(np.zeros((5, 4)))
+
+    def test_decode_rejects_short_buffer(self):
+        with pytest.raises(ValueError):
+            decode_element_page(b"\x00" * 100)
+
+    def test_decode_rejects_corrupt_count(self):
+        page = bytearray(encode_element_page(random_mbrs(2)))
+        page[0] = 0xFF  # count byte far above capacity
+        with pytest.raises(ValueError):
+            decode_element_page(bytes(page))
+
+    def test_byte_exact_determinism(self):
+        mbrs = random_mbrs(10, seed=3)
+        assert encode_element_page(mbrs) == encode_element_page(mbrs)
+
+
+class TestNodePage:
+    def test_round_trip_internal(self):
+        ids = np.arange(40, dtype=np.uint64)
+        mbrs = random_mbrs(40, seed=1)
+        ids_out, mbrs_out, leaf = decode_node_page(encode_node_page(ids, mbrs, False))
+        assert np.array_equal(ids_out, ids)
+        assert np.array_equal(mbrs_out, mbrs)
+        assert leaf is False
+
+    def test_round_trip_leaf_flag(self):
+        ids = np.array([7], dtype=np.uint64)
+        mbrs = random_mbrs(1)
+        _, _, leaf = decode_node_page(encode_node_page(ids, mbrs, True))
+        assert leaf is True
+
+    def test_full_fanout(self):
+        ids = np.arange(NODE_FANOUT, dtype=np.uint64)
+        mbrs = random_mbrs(NODE_FANOUT, seed=2)
+        page = encode_node_page(ids, mbrs, False)
+        ids_out, mbrs_out, _ = decode_node_page(page)
+        assert len(ids_out) == NODE_FANOUT
+        assert np.array_equal(mbrs_out, mbrs)
+
+    def test_overfull_rejected(self):
+        n = NODE_FANOUT + 1
+        with pytest.raises(ValueError):
+            encode_node_page(np.arange(n, dtype=np.uint64), random_mbrs(n), False)
+
+    def test_mismatched_entries_rejected(self):
+        with pytest.raises(ValueError):
+            encode_node_page(np.arange(3, dtype=np.uint64), random_mbrs(4), False)
+
+
+class TestMetadataPage:
+    def make_records(self, n, neighbors_each=5, seed=0):
+        mbrs = random_mbrs(2 * n, seed=seed)
+        return [
+            (
+                mbrs[2 * i],
+                mbrs[2 * i + 1],
+                i * 100,
+                list(range(i, i + neighbors_each)),
+            )
+            for i in range(n)
+        ]
+
+    def test_round_trip(self):
+        records = self.make_records(8)
+        decoded = decode_metadata_page(encode_metadata_page(records))
+        assert len(decoded) == 8
+        for (pm, qm, oid, nbrs), (pm2, qm2, oid2, nbrs2) in zip(records, decoded):
+            assert np.array_equal(pm, pm2)
+            assert np.array_equal(qm, qm2)
+            assert oid == oid2
+            assert nbrs == nbrs2
+
+    def test_record_with_no_neighbors(self):
+        records = self.make_records(1, neighbors_each=0)
+        decoded = decode_metadata_page(encode_metadata_page(records))
+        assert decoded[0][3] == []
+
+    def test_record_size_formula(self):
+        records = self.make_records(1, neighbors_each=7)
+        base = self.make_records(1, neighbors_each=0)
+        assert metadata_record_bytes(7) - metadata_record_bytes(0) == 7 * 4
+        # formula consistent with the actual encoding growth
+        grown = len(encode_metadata_page(records))
+        assert grown == PAGE_SIZE  # padded; sizes verified via overflow below
+        assert metadata_record_bytes(0) == 48 + 48 + 8 + 4
+
+    def test_overflow_rejected(self):
+        # 40 records x ~190 bytes > 4080 available
+        records = self.make_records(40, neighbors_each=10)
+        with pytest.raises(ValueError):
+            encode_metadata_page(records)
+
+    def test_empty_page(self):
+        assert decode_metadata_page(encode_metadata_page([])) == []
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, OBJECT_PAGE_CAPACITY), st.integers(0, 2**31))
+def test_element_page_roundtrip_property(n, seed):
+    mbrs = random_mbrs(n, seed=seed)
+    page = encode_element_page(mbrs)
+    assert len(page) == PAGE_SIZE
+    assert np.array_equal(decode_element_page(page), mbrs)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(st.integers(0, 20), min_size=0, max_size=15),
+    st.integers(0, 2**31),
+)
+def test_metadata_page_roundtrip_property(neighbor_counts, seed):
+    rng = np.random.default_rng(seed)
+    records = []
+    for i, nn in enumerate(neighbor_counts):
+        lo = rng.uniform(-10, 10, size=3)
+        m1 = np.concatenate([lo, lo + 1])
+        m2 = np.concatenate([lo - 1, lo + 2])
+        records.append((m1, m2, i, [int(x) for x in rng.integers(0, 1000, size=nn)]))
+    decoded = decode_metadata_page(encode_metadata_page(records))
+    assert len(decoded) == len(records)
+    for orig, back in zip(records, decoded):
+        assert np.array_equal(orig[0], back[0])
+        assert np.array_equal(orig[1], back[1])
+        assert orig[2] == back[2]
+        assert orig[3] == back[3]
