@@ -1,0 +1,126 @@
+"""Micro-benchmark: scalar vs frontier-batched FLAT crawl (Fig. 13 workload).
+
+Builds FLAT over one microcircuit density step and runs the SN
+benchmark (the workload behind Figs. 12/13) twice through the standard
+cold-cache harness: once with the record-at-a-time reference crawl
+(``FLATIndex.range_query_scalar``) and once with the frontier-batched
+engine (``FLATIndex.range_query``).  Both crawls must read the same
+pages and return the same elements; the batched engine wins on CPU by
+decoding each metadata leaf once per query instead of once per record.
+
+Run ``python benchmarks/bench_crawl.py`` to print a summary and emit
+``BENCH_crawl.json`` (the perf-trajectory artifact tracked across PRs).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+from repro.core import FLATIndex
+from repro.data.microcircuit import build_microcircuit
+from repro.query import BenchmarkSpec, CallableEngine, SCALED_SN_FRACTION, run_queries
+from repro.storage import DECODE_ELEMENT, DECODE_METADATA, PageStore
+
+#: Default workload: one dense microcircuit step in the SMALL_CONFIG
+#: volume (Fig. 13's benchmark at reproduction scale), enough queries
+#: for stable counters.
+N_ELEMENTS = 25_000
+VOLUME_SIDE = 15.0
+QUERY_COUNT = 60
+SEED = 7
+
+
+def _run_stats(run) -> dict:
+    return {
+        "metadata_decodes": run.decodes_in(DECODE_METADATA),
+        "element_decodes": run.decodes_in(DECODE_ELEMENT),
+        "decode_hits": sum(run.decode_hits_by_kind.values()),
+        "total_page_reads": run.total_page_reads,
+        "result_elements": run.result_elements,
+        "cpu_seconds": run.cpu_seconds,
+    }
+
+
+def run_crawl_bench(
+    n_elements: int = N_ELEMENTS,
+    volume_side: float = VOLUME_SIDE,
+    query_count: int = QUERY_COUNT,
+    seed: int = SEED,
+) -> dict:
+    """Run both crawls on the same index + queries; return the comparison."""
+    circuit = build_microcircuit(n_elements, side=volume_side, seed=seed)
+    store = PageStore()
+    flat = FLATIndex.build(store, circuit.mbrs(), space_mbr=circuit.space_mbr)
+    spec = BenchmarkSpec("SN", SCALED_SN_FRACTION, query_count)
+    queries = spec.queries(circuit.space_mbr, seed=seed + 202)
+
+    scalar = run_queries(
+        CallableEngine(flat.range_query_scalar, flat), store, queries, "flat-scalar"
+    )
+    batched = run_queries(flat, store, queries, "flat-batched")
+
+    scalar_stats = _run_stats(scalar)
+    batched_stats = _run_stats(batched)
+    reduction = scalar_stats["metadata_decodes"] / max(
+        batched_stats["metadata_decodes"], 1
+    )
+    cpu_speedup = scalar_stats["cpu_seconds"] / max(
+        batched_stats["cpu_seconds"], 1e-12
+    )
+    return {
+        "benchmark": "crawl-engine",
+        "workload": {
+            "figure": "fig13",
+            "benchmark": "SN",
+            "n_elements": n_elements,
+            "volume_side": volume_side,
+            "volume_fraction": SCALED_SN_FRACTION,
+            "query_count": query_count,
+            "seed": seed,
+        },
+        "scalar": scalar_stats,
+        "batched": batched_stats,
+        "metadata_decode_reduction": reduction,
+        "cpu_speedup": cpu_speedup,
+        "checks": {
+            "identical_results": scalar.per_query_results
+            == batched.per_query_results,
+            "identical_page_reads": scalar.reads_by_category
+            == batched.reads_by_category,
+            "metadata_decode_reduction_at_least_3x": reduction >= 3.0,
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--elements", type=int, default=N_ELEMENTS)
+    parser.add_argument("--side", type=float, default=VOLUME_SIDE)
+    parser.add_argument("--queries", type=int, default=QUERY_COUNT)
+    parser.add_argument("--seed", type=int, default=SEED)
+    parser.add_argument(
+        "--out", type=Path, default=Path("BENCH_crawl.json"),
+        help="where to write the JSON artifact",
+    )
+    args = parser.parse_args(argv)
+    report = run_crawl_bench(args.elements, args.side, args.queries, args.seed)
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+
+    scalar, batched = report["scalar"], report["batched"]
+    print(f"workload: SN x{report['workload']['query_count']} on "
+          f"{report['workload']['n_elements']} elements")
+    print(f"metadata decodes: scalar={scalar['metadata_decodes']} "
+          f"batched={batched['metadata_decodes']} "
+          f"({report['metadata_decode_reduction']:.1f}x reduction)")
+    print(f"cpu seconds: scalar={scalar['cpu_seconds']:.3f} "
+          f"batched={batched['cpu_seconds']:.3f} "
+          f"({report['cpu_speedup']:.2f}x speedup)")
+    print(f"checks: {report['checks']}")
+    print(f"wrote {args.out}")
+    return 0 if all(report["checks"].values()) else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

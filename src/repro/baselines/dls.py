@@ -22,7 +22,7 @@ from collections import deque
 import numpy as np
 
 from repro.geometry.intersect import boxes_intersect_box
-from repro.geometry.mbr import mbr_center, validate_mbrs
+from repro.geometry.mbr import mbr_center, point_as_box, validate_mbrs
 
 
 def chain_adjacency(n_elements: int, chain_length: int) -> list:
@@ -129,6 +129,14 @@ class ConnectivityCrawler:
                     visited.add(neighbor)
                     queue.append(neighbor)
         return np.sort(np.asarray(results, dtype=np.int64))
+
+    def point_query(self, point: np.ndarray) -> np.ndarray:
+        """Elements containing *point* (degenerate range crawl).
+
+        Completes the :class:`~repro.query.engine.QueryEngine` surface
+        so the baseline runs under the same harness as the indexes.
+        """
+        return self.range_query(point_as_box(point))
 
     def misses(self, query: np.ndarray) -> np.ndarray:
         """Matching elements the crawl cannot reach (the paper's failure)."""

@@ -14,13 +14,14 @@ Two roles (Sec. V-B.1/V-B.2):
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.geometry.intersect import boxes_intersect_box
 from repro.geometry.mbr import mbr_union_many
 from repro.storage.pagestore import PageStore
 from repro.storage.serial import (
-    decode_element_page,
     decode_metadata_page,
     decode_node_page,
     encode_metadata_page,
@@ -33,6 +34,43 @@ from repro.core.metadata import (
 )
 from repro.rtree.rtree import pack_upper_levels
 from repro.rtree.str_bulk import str_groups
+
+
+@dataclass(frozen=True)
+class RecordBatch:
+    """A struct-of-arrays view of many metadata records at once.
+
+    Produced by :meth:`SeedIndex.fetch_records_batch`; the crawl engine
+    consumes whole BFS frontiers in this form so intersection tests run
+    as single vectorized calls instead of per-record Python loops.
+    Neighbor pointers are stored in CSR form: the neighbors of row ``i``
+    are ``neighbor_ids[neighbor_offsets[i]:neighbor_offsets[i + 1]]``.
+    """
+
+    record_ids: np.ndarray        #: (N,) record ids, in request order.
+    page_mbrs: np.ndarray         #: (N, 6) page MBRs.
+    partition_mbrs: np.ndarray    #: (N, 6) partition MBRs.
+    object_page_ids: np.ndarray   #: (N,) object page ids.
+    neighbor_offsets: np.ndarray  #: (N + 1,) CSR row offsets.
+    neighbor_ids: np.ndarray      #: (M,) concatenated neighbor record ids.
+
+    def __len__(self) -> int:
+        return len(self.record_ids)
+
+    def neighbors_of(self, mask: np.ndarray) -> np.ndarray:
+        """Concatenated neighbor ids of the rows selected by *mask*."""
+        selected = np.flatnonzero(mask)
+        if selected.size == 0:
+            return np.empty(0, dtype=np.int64)
+        starts = self.neighbor_offsets[selected]
+        lengths = self.neighbor_offsets[selected + 1] - starts
+        total = int(lengths.sum())
+        if total == 0:
+            return np.empty(0, dtype=np.int64)
+        # Vectorized CSR row gather: offset each row's arange to its start.
+        row_ends = np.cumsum(lengths)
+        shift = np.repeat(starts - (row_ends - lengths), lengths)
+        return self.neighbor_ids[np.arange(total) + shift]
 
 
 class SeedIndex:
@@ -139,11 +177,17 @@ class SeedIndex:
     # -- record access ------------------------------------------------------
 
     def fetch_record(self, record_id: int) -> MetadataRecord:
-        """Read a metadata record (costs its leaf page on buffer miss)."""
+        """Read one metadata record (costs its leaf page on buffer miss).
+
+        This is the scalar reference accessor: it re-decodes the whole
+        leaf page on every call, exactly as the original per-record
+        crawl did.  Hot paths use :meth:`fetch_records_batch`, which
+        decodes each touched leaf at most once per query.
+        """
         if not 0 <= record_id < self.record_count:
             raise ValueError(f"record id {record_id} out of range")
         leaf_page_id = int(self.record_page[record_id])
-        raw = decode_metadata_page(self.store.read(leaf_page_id))
+        raw = self.store.read_metadata(leaf_page_id, cached=False)
         page_mbr, partition_mbr, object_page_id, neighbor_ids = raw[
             int(self.record_slot[record_id])
         ]
@@ -153,6 +197,55 @@ class SeedIndex:
             partition_mbr=partition_mbr,
             object_page_id=int(object_page_id),
             neighbor_ids=tuple(neighbor_ids),
+        )
+
+    def fetch_records_batch(self, record_ids) -> RecordBatch:
+        """Read many metadata records as one struct-of-arrays batch.
+
+        Ids are grouped by metadata leaf page so every touched leaf is
+        read once and — via the store's decoded-page cache — decoded at
+        most once per query, no matter how many of its records the
+        crawl's frontiers request.
+        """
+        ids = np.atleast_1d(np.asarray(record_ids, dtype=np.int64))
+        n = len(ids)
+        if n and not (0 <= ids.min() and ids.max() < self.record_count):
+            raise ValueError("record id out of range in batch")
+        page_mbrs = np.empty((n, 6), dtype=np.float64)
+        partition_mbrs = np.empty((n, 6), dtype=np.float64)
+        object_page_ids = np.empty(n, dtype=np.int64)
+        neighbor_lists = [()] * n
+
+        leaf_ids = self.record_page[ids]
+        order = np.argsort(leaf_ids, kind="stable")
+        boundaries = np.flatnonzero(np.diff(leaf_ids[order])) + 1
+        for group in np.split(order, boundaries) if n else []:
+            raw = self.store.read_metadata(int(leaf_ids[group[0]]))
+            for pos in group:
+                slot = int(self.record_slot[ids[pos]])
+                page_mbr, partition_mbr, object_page_id, nbrs = raw[slot]
+                page_mbrs[pos] = page_mbr
+                partition_mbrs[pos] = partition_mbr
+                object_page_ids[pos] = object_page_id
+                neighbor_lists[pos] = nbrs
+
+        counts = np.fromiter(
+            (len(nbrs) for nbrs in neighbor_lists), dtype=np.int64, count=n
+        )
+        offsets = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        neighbor_ids = np.fromiter(
+            (nid for nbrs in neighbor_lists for nid in nbrs),
+            dtype=np.int64,
+            count=int(offsets[-1]),
+        )
+        return RecordBatch(
+            record_ids=ids,
+            page_mbrs=page_mbrs,
+            partition_mbrs=partition_mbrs,
+            object_page_ids=object_page_ids,
+            neighbor_offsets=offsets,
+            neighbor_ids=neighbor_ids,
         )
 
     def iter_records(self):
@@ -179,22 +272,24 @@ class SeedIndex:
         query) have their object page probed until one contains a truly
         intersecting element (Sec. V-B.1).  Returns ``(record,
         matching_element_slots)`` or ``None`` when the query is empty.
+
+        Decoded leaves and probed object pages go through the store's
+        decoded-page cache, so the crawl that follows never re-decodes a
+        page the seed phase already parsed.
         """
         query = np.asarray(query, dtype=np.float64)
         stack = [(self.root_id, self.height)]
         while stack:
             page_id, level = stack.pop()
             if level == 0:
-                raw = decode_metadata_page(self.store.read(page_id))
+                raw = self.store.read_metadata(page_id)
                 ids = self.leaf_record_ids[page_id]
                 for slot, (page_mbr, partition_mbr, object_page_id, nbrs) in enumerate(
                     raw
                 ):
                     if not boxes_intersect_box(page_mbr[None, :], query)[0]:
                         continue
-                    elements = decode_element_page(
-                        self.store.read(int(object_page_id))
-                    )
+                    elements = self.store.read_elements(int(object_page_id))
                     mask = boxes_intersect_box(elements, query)
                     if mask.any():
                         record = MetadataRecord(

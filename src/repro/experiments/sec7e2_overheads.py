@@ -2,8 +2,10 @@
 
 Paper: the BFS bookkeeping (the queue) stays at ~0.9 % of the result
 size, and 97.8–98.8 % of query time is spent on disk operations.  We
-measure the same two quantities: peak queue bytes relative to the
-result's on-disk bytes, and the simulated I/O share of total time.
+measure the same two quantities: peak queue bytes (the paper's metric;
+the visited set is tracked separately as
+:attr:`~repro.core.flat_index.CrawlStats.visited_bytes`) relative to
+the result's on-disk bytes, and the simulated I/O share of total time.
 """
 
 from __future__ import annotations

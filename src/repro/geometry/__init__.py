@@ -23,6 +23,7 @@ from repro.geometry.mbr import (
     mbr_union,
     mbr_union_many,
     mbr_volume,
+    point_as_box,
     validate_mbrs,
 )
 from repro.geometry.shapes import (
@@ -68,6 +69,7 @@ __all__ = [
     "mbr_union_many",
     "mbr_volume",
     "pairwise_intersects",
+    "point_as_box",
     "spheres_to_mbrs",
     "triangles_to_mbrs",
     "validate_mbrs",

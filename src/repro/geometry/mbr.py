@@ -116,6 +116,14 @@ def mbr_empty() -> np.ndarray:
     return arr
 
 
+def point_as_box(point: np.ndarray) -> np.ndarray:
+    """The degenerate query box of a point: ``(3,) -> (6,)``, batched
+    ``(N, 3) -> (N, 6)``.  Every ``point_query`` is this plus
+    ``range_query``."""
+    point = np.asarray(point, dtype=np.float64)
+    return np.concatenate([point, point], axis=-1)
+
+
 def mbr_from_points(points: np.ndarray) -> np.ndarray:
     """Bounding box of an ``(N, 3)`` point cloud."""
     points = np.asarray(points, dtype=np.float64)

@@ -1,5 +1,6 @@
-"""Query workloads and the cold-cache execution harness."""
+"""Query workloads, the engine protocol and the cold-cache harness."""
 
+from repro.query.engine import CallableEngine, QueryEngine
 from repro.query.benchmarks import (
     BenchmarkSpec,
     PAPER_LSS_FRACTION,
@@ -15,9 +16,11 @@ from repro.query.workload import random_points, random_range_queries
 
 __all__ = [
     "BenchmarkSpec",
+    "CallableEngine",
     "PAPER_LSS_FRACTION",
     "PAPER_SN_FRACTION",
     "QUERY_COUNT",
+    "QueryEngine",
     "QueryRunResult",
     "SCALED_LSS_FRACTION",
     "SCALED_SN_FRACTION",

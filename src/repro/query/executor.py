@@ -1,9 +1,12 @@
 """Query execution harness: cold caches, per-category accounting.
 
-Runs a batch of range queries against any index exposing
-``range_query(box) -> element ids`` over a :class:`PageStore`, clearing
-the buffer before every query exactly as the paper does ("Before each
-query is executed, the OS caches and disk buffers are cleared").
+Runs a batch of range queries against any
+:class:`~repro.query.engine.QueryEngine` over a :class:`PageStore`,
+clearing the buffer (and the decoded-page cache) before every query
+exactly as the paper does ("Before each query is executed, the OS
+caches and disk buffers are cleared").  Alongside page reads, the
+harness aggregates page-*decode* counters, so CPU-side parsing work is
+reported next to the I/O every figure measures.
 """
 
 from __future__ import annotations
@@ -13,6 +16,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.geometry.mbr import point_as_box
 from repro.storage.diskmodel import DiskModel
 from repro.storage.pagestore import PageStore
 from repro.storage.stats import (
@@ -32,6 +36,10 @@ class QueryRunResult:
     query_count: int = 0
     result_elements: int = 0
     reads_by_category: dict = field(default_factory=dict)
+    #: Full page decodes by decode kind ("metadata" / "element").
+    decodes_by_kind: dict = field(default_factory=dict)
+    #: Decodes absorbed by the decoded-page cache, by decode kind.
+    decode_hits_by_kind: dict = field(default_factory=dict)
     cpu_seconds: float = 0.0
     #: Peak BFS bookkeeping bytes per query (FLAT only), for Sec. VII-E.2.
     bookkeeping_bytes: list = field(default_factory=list)
@@ -46,6 +54,14 @@ class QueryRunResult:
 
     def reads_in(self, *categories: str) -> int:
         return sum(self.reads_by_category.get(c, 0) for c in categories)
+
+    @property
+    def total_page_decodes(self) -> int:
+        """Full page decodes performed across all decode kinds."""
+        return sum(self.decodes_by_kind.values())
+
+    def decodes_in(self, *kinds: str) -> int:
+        return sum(self.decodes_by_kind.get(k, 0) for k in kinds)
 
     @property
     def pages_per_result(self) -> float:
@@ -81,7 +97,12 @@ def run_queries(
     index_name: str = "",
     clear_cache_between: bool = True,
 ) -> QueryRunResult:
-    """Execute every query, cold-cached, and aggregate the accounting."""
+    """Execute every query, cold-cached, and aggregate the accounting.
+
+    *index* is any :class:`~repro.query.engine.QueryEngine`; the harness
+    only calls ``range_query`` and (optionally) reads
+    ``last_crawl_stats``.
+    """
     queries = np.asarray(queries, dtype=np.float64)
     if queries.ndim != 2 or queries.shape[1] != 6:
         raise ValueError(f"expected (N, 6) query boxes, got {queries.shape}")
@@ -104,6 +125,14 @@ def run_queries(
             result.reads_by_category[category] = (
                 result.reads_by_category.get(category, 0) + reads
             )
+        for kind, decodes in delta.decode_misses.items():
+            result.decodes_by_kind[kind] = (
+                result.decodes_by_kind.get(kind, 0) + decodes
+            )
+        for kind, hit_count in delta.decode_hits.items():
+            result.decode_hits_by_kind[kind] = (
+                result.decode_hits_by_kind.get(kind, 0) + hit_count
+            )
         crawl = getattr(index, "last_crawl_stats", None)
         if crawl is not None:
             result.bookkeeping_bytes.append(crawl.bookkeeping_bytes)
@@ -121,5 +150,6 @@ def run_point_queries(
     points = np.asarray(points, dtype=np.float64)
     if points.ndim != 2 or points.shape[1] != 3:
         raise ValueError(f"expected (N, 3) points, got {points.shape}")
-    queries = np.concatenate([points, points], axis=1)
-    return run_queries(index, store, queries, index_name, clear_cache_between)
+    return run_queries(
+        index, store, point_as_box(points), index_name, clear_cache_between
+    )

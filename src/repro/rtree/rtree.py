@@ -24,6 +24,11 @@ from repro.storage.serial import (
     encode_node_page,
 )
 
+# Leaf element pages are decoded through the store's DecodedPageCache
+# (PageStore.read_elements) on the query paths, so repeated visits to a
+# leaf within one query cost one decode; validate() keeps the direct
+# decoder since read_silent carries no accounting.
+
 
 class RTree:
     """A bulkloaded, read-only R-Tree over a simulated page store.
@@ -82,7 +87,7 @@ class RTree:
         while queue:
             page_id, level = queue.popleft()
             if level == 0:
-                mbrs = decode_element_page(self.store.read(page_id))
+                mbrs = self.store.read_elements(page_id)
                 mask = boxes_intersect_box(mbrs, query)
                 if mask.any():
                     results.append(self.leaf_element_ids[page_id][mask])
@@ -107,7 +112,7 @@ class RTree:
         while queue:
             page_id, level = queue.popleft()
             if level == 0:
-                mbrs = decode_element_page(self.store.read(page_id))
+                mbrs = self.store.read_elements(page_id)
                 mask = boxes_intersect_point(mbrs, point)
                 if mask.any():
                     results.append(self.leaf_element_ids[page_id][mask])
@@ -136,7 +141,7 @@ class RTree:
         while stack:
             page_id, level = stack.pop()
             if level == 0:
-                mbrs = decode_element_page(self.store.read(page_id))
+                mbrs = self.store.read_elements(page_id)
                 mask = boxes_intersect_box(mbrs, query)
                 if mask.any():
                     return page_id, self.leaf_element_ids[page_id][mask]

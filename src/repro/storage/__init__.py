@@ -11,6 +11,9 @@ substitute for the authors' SAS disk array:
 * :class:`~repro.storage.buffer.BufferPool` — an LRU page buffer that
   models the OS page cache.  The paper clears caches before every query;
   the query executor does the same via :meth:`PageStore.clear_cache`.
+* :class:`~repro.storage.decoded_cache.DecodedPageCache` — the CPU-side
+  analogue of the buffer pool: memoizes decoded page contents per page
+  id so batched crawls parse each touched page at most once per query.
 * :class:`~repro.storage.diskmodel.DiskModel` — converts page-read
   counts into simulated I/O time for a 10 kRPM SAS disk, reproducing the
   paper's observation that query time is I/O-bound (97.8–98.8 %).
@@ -34,11 +37,19 @@ from repro.storage.stats import (
     IOStats,
 )
 from repro.storage.buffer import BufferPool
+from repro.storage.decoded_cache import (
+    DECODE_ELEMENT,
+    DECODE_METADATA,
+    DecodedPageCache,
+)
 from repro.storage.diskmodel import DiskModel
 from repro.storage.pagestore import PageStore, PageStoreError
 
 __all__ = [
     "BufferPool",
+    "DECODE_ELEMENT",
+    "DECODE_METADATA",
+    "DecodedPageCache",
     "CATEGORY_METADATA",
     "CATEGORY_OBJECT",
     "CATEGORY_RTREE_INTERNAL",

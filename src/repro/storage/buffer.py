@@ -17,6 +17,8 @@ class BufferPool:
     """A least-recently-used page buffer.
 
     ``capacity=None`` means unbounded (the within-a-query OS cache).
+    Keys and values are opaque to the pool; the decoded-page cache
+    reuses these LRU mechanics with ``(kind, page_id)`` keys.
     """
 
     def __init__(self, capacity: int | None = None):
@@ -60,7 +62,18 @@ class BufferPool:
         self._pages.clear()
 
     @property
+    def lookups(self) -> int:
+        """Total :meth:`get` calls (hits + misses)."""
+        return self.hits + self.misses
+
+    @property
     def hit_rate(self) -> float:
         """Fraction of lookups served from the buffer."""
-        lookups = self.hits + self.misses
-        return self.hits / lookups if lookups else 0.0
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def __repr__(self) -> str:
+        cap = "unbounded" if self.capacity is None else self.capacity
+        return (
+            f"BufferPool(capacity={cap}, size={len(self)}, hits={self.hits}, "
+            f"misses={self.misses}, evictions={self.evictions})"
+        )

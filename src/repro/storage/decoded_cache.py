@@ -1,0 +1,103 @@
+"""Memoized page decoding: the CPU-side counterpart of the buffer pool.
+
+The buffer pool absorbs repeated *physical* reads, but every consumer
+still paid :func:`~repro.storage.serial.decode_metadata_page` /
+:func:`~repro.storage.serial.decode_element_page` on each access — so a
+crawl re-parsing the same metadata leaf for every record on it spent
+CPU proportional to frontier-size x page-size instead of to the pages
+actually touched.  :class:`DecodedPageCache` memoizes the decoded form
+per page id, turning repeated decodes into dictionary hits.
+
+Decoded objects are shared between callers and must be treated as
+read-only (all index structures are bulkloaded and immutable, so no
+writer ever invalidates a single entry; :meth:`clear` drops everything,
+mirroring the paper's between-query cache clearing).
+"""
+
+from __future__ import annotations
+
+from repro.storage.buffer import BufferPool
+
+#: Decode kinds, used as counter keys in :class:`~repro.storage.stats.IOStats`.
+DECODE_METADATA = "metadata"
+DECODE_ELEMENT = "element"
+
+
+class DecodedPageCache:
+    """Per-page-id memo of decoded page contents.
+
+    ``capacity=None`` means unbounded (the within-a-query working set);
+    a bounded cache evicts in LRU order.  The LRU mechanics are the
+    buffer pool's, reused with ``(kind, page_id)`` keys and decoded
+    objects as values, so there is exactly one eviction implementation
+    in the storage layer.
+    """
+
+    def __init__(self, capacity: int | None = None):
+        self._pool = BufferPool(capacity)
+
+    # -- access --------------------------------------------------------
+
+    def get_or_decode(self, kind: str, page_id: int, payload: bytes, decoder,
+                      stats=None):
+        """The decoded *payload*, decoding (and memoizing) at most once.
+
+        ``stats`` is an optional :class:`~repro.storage.stats.IOStats`
+        that receives per-kind decode hit/miss counts, so query harnesses
+        can report decode work next to page reads.
+        """
+        key = (kind, page_id)
+        cached = self._pool.get(key)
+        if stats is not None:
+            stats.record_decode(kind, hit=cached is not None)
+        if cached is not None:
+            return cached
+        decoded = decoder(payload)
+        self._pool.put(key, decoded)
+        return decoded
+
+    def clear(self) -> None:
+        """Drop every decoded page (paired with buffer-pool clearing)."""
+        self._pool.clear()
+
+    # -- introspection -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._pool)
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self._pool
+
+    @property
+    def capacity(self) -> int | None:
+        return self._pool.capacity
+
+    @property
+    def hits(self) -> int:
+        return self._pool.hits
+
+    @property
+    def misses(self) -> int:
+        return self._pool.misses
+
+    @property
+    def evictions(self) -> int:
+        return self._pool.evictions
+
+    @property
+    def lookups(self) -> int:
+        """Total accesses (hits + misses)."""
+        return self._pool.lookups
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups that skipped a decode."""
+        return self._pool.hit_rate
+
+    def __repr__(self) -> str:
+        cap = "unbounded" if self.capacity is None else self.capacity
+        return (
+            f"DecodedPageCache(capacity={cap}, size={len(self)}, "
+            f"hits={self.hits}, misses={self.misses}, "
+            f"evictions={self.evictions})"
+        )

@@ -10,6 +10,12 @@ from __future__ import annotations
 
 from repro.storage.buffer import BufferPool
 from repro.storage.constants import PAGE_SIZE
+from repro.storage.decoded_cache import (
+    DECODE_ELEMENT,
+    DECODE_METADATA,
+    DecodedPageCache,
+)
+from repro.storage.serial import decode_element_page, decode_metadata_page
 from repro.storage.stats import ALL_CATEGORIES, IOStats
 
 
@@ -27,12 +33,21 @@ class PageStore:
         default an *unbounded* pool is attached, modeling the OS page
         cache within one query; call :meth:`clear_cache` to simulate the
         paper's cache clearing between queries.
+    decoded:
+        Optional :class:`DecodedPageCache` memoizing decoded page
+        contents (the CPU-side analogue of the buffer pool), invalidated
+        together with the buffer by :meth:`clear_cache`.
     """
 
-    def __init__(self, buffer: BufferPool | None = None):
+    def __init__(
+        self,
+        buffer: BufferPool | None = None,
+        decoded: DecodedPageCache | None = None,
+    ):
         self._pages: list[bytes] = []
         self._categories: list[str] = []
         self.buffer = BufferPool() if buffer is None else buffer
+        self.decoded = DecodedPageCache() if decoded is None else decoded
         self.stats = IOStats()
 
     # -- allocation ----------------------------------------------------
@@ -70,6 +85,50 @@ class PageStore:
         self.stats.record_read(self._categories[page_id])
         return payload
 
+    def read_many(self, page_ids) -> list:
+        """Fetch a batch of pages with the same accounting as :meth:`read`.
+
+        Batched crawls hand whole frontiers of object pages here instead
+        of issuing one :meth:`read` per record; the page-read accounting
+        is identical read-for-read.
+        """
+        return [self.read(int(page_id)) for page_id in page_ids]
+
+    # -- decoded reads -------------------------------------------------
+
+    def read_metadata(self, page_id: int, cached: bool = True) -> list:
+        """Read + decode a metadata page, memoizing the decoded records.
+
+        ``cached=False`` decodes unconditionally (the scalar reference
+        path); either way the decode is counted in :attr:`stats` so
+        harnesses can report decode work next to page reads.
+        """
+        payload = self.read(page_id)
+        if not cached:
+            self.stats.record_decode(DECODE_METADATA, hit=False)
+            return decode_metadata_page(payload)
+        return self.decoded.get_or_decode(
+            DECODE_METADATA, page_id, payload, decode_metadata_page, self.stats
+        )
+
+    def read_elements(self, page_id: int, cached: bool = True):
+        """Read + decode an element page (object page or R-Tree leaf)."""
+        payload = self.read(page_id)
+        if not cached:
+            self.stats.record_decode(DECODE_ELEMENT, hit=False)
+            return decode_element_page(payload)
+        return self.decoded.get_or_decode(
+            DECODE_ELEMENT, page_id, payload, decode_element_page, self.stats
+        )
+
+    def read_elements_many(self, page_ids) -> list:
+        """Decoded element arrays for a batch of pages.
+
+        Exactly :meth:`read_elements` per page — one definition of the
+        read+decode path — with :meth:`read_many`'s accounting.
+        """
+        return [self.read_elements(int(page_id)) for page_id in page_ids]
+
     def read_silent(self, page_id: int) -> bytes:
         """Fetch a page without any accounting (index construction only).
 
@@ -89,9 +148,11 @@ class PageStore:
     # -- cache control ---------------------------------------------------
 
     def clear_cache(self) -> None:
-        """Drop all buffered pages (the paper's per-query cache clearing)."""
+        """Drop buffered pages *and* decoded pages (per-query cache clearing)."""
         if self.buffer is not None:
             self.buffer.clear()
+        if self.decoded is not None:
+            self.decoded.clear()
 
     # -- introspection ---------------------------------------------------
 

@@ -34,11 +34,20 @@ ALL_CATEGORIES = (
 
 @dataclass
 class IOStats:
-    """Mutable counters of page reads/writes, split by page category."""
+    """Mutable counters of page reads/writes, split by page category.
+
+    Alongside the I/O counters, *decode* counters track the CPU-side
+    work of parsing fetched pages: ``decode_misses[kind]`` counts full
+    page decodes and ``decode_hits[kind]`` counts decodes absorbed by a
+    :class:`~repro.storage.decoded_cache.DecodedPageCache` (kinds are
+    ``"metadata"`` / ``"element"``).
+    """
 
     reads: dict = field(default_factory=dict)
     writes: dict = field(default_factory=dict)
     cache_hits: int = 0
+    decode_hits: dict = field(default_factory=dict)
+    decode_misses: dict = field(default_factory=dict)
 
     def record_read(self, category: str, pages: int = 1) -> None:
         """Count *pages* physical page reads in *category*."""
@@ -51,6 +60,11 @@ class IOStats:
     def record_cache_hit(self) -> None:
         """Count a read absorbed by the buffer pool (no physical I/O)."""
         self.cache_hits += 1
+
+    def record_decode(self, kind: str, hit: bool) -> None:
+        """Count one page-decode lookup of the given kind."""
+        target = self.decode_hits if hit else self.decode_misses
+        target[kind] = target.get(kind, 0) + 1
 
     def reads_in(self, *categories: str) -> int:
         """Total physical reads across the given categories."""
@@ -70,23 +84,43 @@ class IOStats:
         """Bytes read across the given categories."""
         return self.reads_in(*categories) * PAGE_SIZE
 
+    def decodes_in(self, *kinds: str) -> int:
+        """Full page decodes performed across the given decode kinds."""
+        return sum(self.decode_misses.get(k, 0) for k in kinds)
+
+    @property
+    def total_decodes(self) -> int:
+        """Total full page decodes (decoded-cache misses + uncached)."""
+        return sum(self.decode_misses.values())
+
+    @property
+    def total_decode_hits(self) -> int:
+        """Total decodes absorbed by the decoded-page cache."""
+        return sum(self.decode_hits.values())
+
     def snapshot(self) -> "IOStats":
         """A frozen copy (for before/after differencing)."""
-        return IOStats(dict(self.reads), dict(self.writes), self.cache_hits)
+        return IOStats(
+            dict(self.reads),
+            dict(self.writes),
+            self.cache_hits,
+            dict(self.decode_hits),
+            dict(self.decode_misses),
+        )
+
+    @staticmethod
+    def _dict_diff(now: dict, before: dict) -> dict:
+        return {c: n - before.get(c, 0) for c, n in now.items() if n - before.get(c, 0)}
 
     def diff(self, before: "IOStats") -> "IOStats":
         """Counters accumulated since the *before* snapshot."""
-        reads = {
-            c: n - before.reads.get(c, 0)
-            for c, n in self.reads.items()
-            if n - before.reads.get(c, 0)
-        }
-        writes = {
-            c: n - before.writes.get(c, 0)
-            for c, n in self.writes.items()
-            if n - before.writes.get(c, 0)
-        }
-        return IOStats(reads, writes, self.cache_hits - before.cache_hits)
+        return IOStats(
+            self._dict_diff(self.reads, before.reads),
+            self._dict_diff(self.writes, before.writes),
+            self.cache_hits - before.cache_hits,
+            self._dict_diff(self.decode_hits, before.decode_hits),
+            self._dict_diff(self.decode_misses, before.decode_misses),
+        )
 
     def merge(self, other: "IOStats") -> None:
         """Accumulate *other*'s counters into this object."""
@@ -95,13 +129,22 @@ class IOStats:
         for category, n in other.writes.items():
             self.writes[category] = self.writes.get(category, 0) + n
         self.cache_hits += other.cache_hits
+        for kind, n in other.decode_hits.items():
+            self.decode_hits[kind] = self.decode_hits.get(kind, 0) + n
+        for kind, n in other.decode_misses.items():
+            self.decode_misses[kind] = self.decode_misses.get(kind, 0) + n
 
     def reset(self) -> None:
         """Zero all counters."""
         self.reads.clear()
         self.writes.clear()
         self.cache_hits = 0
+        self.decode_hits.clear()
+        self.decode_misses.clear()
 
     def __repr__(self) -> str:
         parts = ", ".join(f"{c}={n}" for c, n in sorted(self.reads.items()))
-        return f"IOStats(reads: {parts or 'none'}, cache_hits={self.cache_hits})"
+        return (
+            f"IOStats(reads: {parts or 'none'}, cache_hits={self.cache_hits}, "
+            f"decodes={self.total_decodes}, decode_hits={self.total_decode_hits})"
+        )

@@ -139,7 +139,11 @@ class TestAccounting:
         assert stats.result_count == len(result)
         assert stats.object_pages_read >= 1
         assert stats.max_queue_length >= 1
+        assert stats.visited_bytes == stats.records_dequeued * 8
         assert stats.bookkeeping_bytes == stats.max_queue_length * 8
+        assert stats.total_bookkeeping_bytes == (
+            stats.bookkeeping_bytes + stats.visited_bytes
+        )
 
     def test_capacity_validation(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,97 @@
+"""Tests for the QueryEngine protocol and its uniform harness behaviour."""
+
+import numpy as np
+
+from repro.baselines.dls import ConnectivityCrawler, chain_adjacency
+from repro.core import FLATIndex
+from repro.query import CallableEngine, QueryEngine, random_range_queries, run_queries
+from repro.rtree import bulkload_rtree
+from repro.storage import DECODE_ELEMENT, DECODE_METADATA, PageStore
+
+SPACE = np.array([0.0, 0, 0, 100, 100, 100])
+
+
+def random_mbrs(n, seed=0, extent=2.0):
+    rng = np.random.default_rng(seed)
+    lo = rng.uniform(0, 100, size=(n, 3))
+    return np.concatenate([lo, lo + extent], axis=1)
+
+
+class TestProtocolConformance:
+    def test_all_indexes_are_query_engines(self):
+        mbrs = random_mbrs(600)
+        flat = FLATIndex.build(PageStore(), mbrs)
+        rtree = bulkload_rtree(PageStore(), mbrs, "str")
+        dls = ConnectivityCrawler(mbrs, chain_adjacency(len(mbrs), 10))
+        for engine in (flat, rtree, dls, CallableEngine(flat.range_query_scalar)):
+            assert isinstance(engine, QueryEngine)
+
+    def test_engines_agree_on_results(self):
+        mbrs = random_mbrs(1500, seed=1)
+        store_f, store_r = PageStore(), PageStore()
+        flat = FLATIndex.build(store_f, mbrs)
+        rtree = bulkload_rtree(store_r, mbrs, "str")
+        queries = random_range_queries(SPACE, 1e-3, 10, seed=2)
+        run_f = run_queries(flat, store_f, queries, "flat")
+        run_r = run_queries(rtree, store_r, queries, "str")
+        assert run_f.per_query_results == run_r.per_query_results
+
+    def test_dls_point_query_is_degenerate_range(self):
+        mbrs = random_mbrs(200, seed=3, extent=5.0)
+        dls = ConnectivityCrawler(mbrs, chain_adjacency(len(mbrs), 200))
+        point = mbrs[17, :3] + 0.1
+        assert np.array_equal(
+            dls.point_query(point),
+            dls.range_query(np.concatenate([point, point])),
+        )
+
+    def test_callable_engine_forwards_and_exposes_stats(self):
+        mbrs = random_mbrs(800, seed=4)
+        store = PageStore()
+        flat = FLATIndex.build(store, mbrs)
+        engine = CallableEngine(flat.range_query_scalar, flat)
+        query = np.array([10.0, 10, 10, 50, 50, 50])
+        out = engine.range_query(query)
+        assert np.array_equal(out, flat.range_query(query))
+        assert engine.last_crawl_stats is flat.last_crawl_stats
+        point = mbrs[3, :3] + 0.05
+        assert np.array_equal(
+            engine.point_query(point), flat.point_query(point)
+        )
+
+
+class TestDecodeAccounting:
+    def test_run_queries_reports_decode_counters(self):
+        mbrs = random_mbrs(2000, seed=5)
+        store = PageStore()
+        flat = FLATIndex.build(store, mbrs)
+        queries = random_range_queries(SPACE, 1e-3, 8, seed=6)
+        run = run_queries(flat, store, queries, "flat")
+        assert run.decodes_in(DECODE_METADATA) > 0
+        assert run.decodes_in(DECODE_ELEMENT) > 0
+        assert run.total_page_decodes == sum(run.decodes_by_kind.values())
+        # Batched crawl: at most one decode per physical page read.
+        assert run.total_page_decodes <= run.total_page_reads
+
+    def test_rtree_leaf_decodes_counted(self):
+        mbrs = random_mbrs(2000, seed=7)
+        store = PageStore()
+        rtree = bulkload_rtree(store, mbrs, "str")
+        queries = random_range_queries(SPACE, 1e-3, 8, seed=8)
+        run = run_queries(rtree, store, queries, "str")
+        assert run.decodes_in(DECODE_ELEMENT) > 0
+
+    def test_scalar_crawl_decodes_more_than_batched(self):
+        mbrs = random_mbrs(3000, seed=9)
+        store = PageStore()
+        flat = FLATIndex.build(store, mbrs)
+        queries = random_range_queries(SPACE, 5e-3, 6, seed=10)
+        scalar = run_queries(
+            CallableEngine(flat.range_query_scalar, flat), store, queries, "scalar"
+        )
+        batched = run_queries(flat, store, queries, "batched")
+        assert scalar.per_query_results == batched.per_query_results
+        assert scalar.reads_by_category == batched.reads_by_category
+        assert batched.decodes_in(DECODE_METADATA) < scalar.decodes_in(
+            DECODE_METADATA
+        )

@@ -1,0 +1,89 @@
+"""Tests for the LRU buffer pool, including bounded-capacity behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.core import FLATIndex
+from repro.storage import BufferPool, PageStore
+
+
+class TestBufferPoolCounters:
+    def test_lookups_counts_hits_and_misses(self):
+        pool = BufferPool()
+        assert pool.lookups == 0
+        pool.get(0)  # miss
+        pool.put(0, b"a")
+        pool.get(0)  # hit
+        pool.get(1)  # miss
+        assert pool.hits == 1
+        assert pool.misses == 2
+        assert pool.lookups == 3
+        assert pool.hit_rate == pytest.approx(1 / 3)
+
+    def test_repr_reports_state(self):
+        pool = BufferPool(capacity=2)
+        pool.put(0, b"a")
+        pool.get(0)
+        text = repr(pool)
+        assert "capacity=2" in text
+        assert "size=1" in text
+        assert "hits=1" in text
+        assert "misses=0" in text
+        assert "evictions=0" in text
+        assert "unbounded" in repr(BufferPool())
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            BufferPool(capacity=0)
+
+
+class TestBoundedCapacity:
+    def test_lru_eviction_order_and_counter(self):
+        pool = BufferPool(capacity=2)
+        pool.put(0, b"a")
+        pool.put(1, b"b")
+        pool.get(0)  # 1 is now least recently used
+        pool.put(2, b"c")
+        assert pool.evictions == 1
+        assert 1 not in pool
+        assert 0 in pool and 2 in pool
+        assert len(pool) == 2
+
+    def test_reinsert_does_not_evict(self):
+        pool = BufferPool(capacity=2)
+        pool.put(0, b"a")
+        pool.put(1, b"b")
+        pool.put(0, b"a2")
+        assert pool.evictions == 0
+        assert pool.get(0) == b"a2"
+
+    def test_cache_sensitivity_of_query_io(self):
+        # The same query workload on the same index: an unbounded pool
+        # absorbs every repeated read within a query, a tiny pool must
+        # evict (counted) and re-read pages, so physical I/O can only
+        # grow and the decoded result must stay identical.
+        rng = np.random.default_rng(21)
+        lo = rng.uniform(0, 100, size=(2500, 3))
+        mbrs = np.concatenate([lo, lo + 1.5], axis=1)
+        query = np.array([10.0, 10, 10, 70, 70, 70])
+
+        unbounded_store = PageStore()
+        flat = FLATIndex.build(unbounded_store, mbrs)
+        unbounded_store.clear_cache()
+        before = unbounded_store.stats.snapshot()
+        expected = flat.range_query(query)
+        unbounded_reads = unbounded_store.stats.diff(before).total_reads
+
+        tiny = BufferPool(capacity=2)
+        tiny_store = PageStore(buffer=tiny)
+        flat_tiny = FLATIndex.build(tiny_store, mbrs)
+        tiny_store.clear_cache()
+        before = tiny_store.stats.snapshot()
+        out = flat_tiny.range_query(query)
+        tiny_reads = tiny_store.stats.diff(before).total_reads
+
+        assert np.array_equal(out, expected)
+        assert tiny.evictions > 0
+        assert tiny.lookups > 0
+        assert len(tiny) <= 2
+        assert tiny_reads >= unbounded_reads
