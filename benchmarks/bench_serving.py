@@ -1,0 +1,177 @@
+"""Micro-benchmark: snapshot → restore → serve (Fig. 13 SN workload).
+
+Builds FLAT over one microcircuit density step in memory, snapshots it
+to disk, reopens it over the mmap-backed file store, and serves the SN
+benchmark through :class:`~repro.query.service.QueryService` at
+increasing worker counts — cold caches (the paper's regime: every query
+drops its worker's buffer + decoded cache) and warm (caches accumulate
+across queries).  The restored index must return exactly the per-query
+results and per-category page reads of the in-memory build; the
+benchmark reports serving throughput on top of that equivalence.
+
+Run ``python benchmarks/bench_serving.py`` to print a summary and emit
+``BENCH_serving.json`` (the serving-trajectory artifact tracked across
+PRs).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import tempfile
+from pathlib import Path
+
+from repro.core import FLATIndex
+from repro.data.microcircuit import build_microcircuit
+from repro.query import BenchmarkSpec, QueryService, SCALED_SN_FRACTION, run_queries
+from repro.storage import PageStore
+
+#: Default workload: the SN benchmark (Figs. 12/13) at reproduction
+#: scale, enough queries for stable throughput numbers.
+N_ELEMENTS = 25_000
+VOLUME_SIDE = 15.0
+QUERY_COUNT = 120
+SEED = 7
+WORKER_COUNTS = (1, 2, 4, 8)
+
+
+def _serve(index, queries, workers: int, cold: bool) -> dict:
+    with QueryService(
+        index, workers=workers, clear_cache_per_query=cold
+    ) as service:
+        report = service.run(queries, "flat-served")
+    return {
+        "workers": workers,
+        "cache": "cold" if cold else "warm",
+        "wall_seconds": report.wall_seconds,
+        "throughput_qps": report.throughput_qps,
+        "total_page_reads": report.total_page_reads,
+        "cache_hits": report.cache_hits,
+        "workers_used": report.workers_used,
+        "result_elements": report.result_elements,
+        "per_query_results": report.per_query_results,
+    }
+
+
+def run_serving_bench(
+    n_elements: int = N_ELEMENTS,
+    volume_side: float = VOLUME_SIDE,
+    query_count: int = QUERY_COUNT,
+    seed: int = SEED,
+    worker_counts=WORKER_COUNTS,
+    snapshot_dir: Path | None = None,
+) -> dict:
+    """Build, snapshot, restore and serve; return the full comparison."""
+    circuit = build_microcircuit(n_elements, side=volume_side, seed=seed)
+    store = PageStore()
+    flat = FLATIndex.build(store, circuit.mbrs(), space_mbr=circuit.space_mbr)
+    spec = BenchmarkSpec("SN", SCALED_SN_FRACTION, query_count)
+    queries = spec.queries(circuit.space_mbr, seed=seed + 202)
+
+    built = run_queries(flat, store, queries, "flat-built")
+
+    own_tmp = None
+    if snapshot_dir is None:
+        own_tmp = tempfile.TemporaryDirectory(prefix="flat-snapshot-")
+        snapshot_dir = Path(own_tmp.name)
+    try:
+        flat.snapshot(snapshot_dir)
+        restored = FLATIndex.restore(snapshot_dir)
+        try:
+            restored_run = run_queries(
+                restored, restored.store, queries, "flat-restored"
+            )
+            runs = []
+            for workers in worker_counts:
+                runs.append(_serve(restored, queries, workers, cold=True))
+                runs.append(_serve(restored, queries, workers, cold=False))
+        finally:
+            restored.store.close()
+    finally:
+        if own_tmp is not None:
+            own_tmp.cleanup()
+
+    cold_single = next(
+        r for r in runs if r["cache"] == "cold" and r["workers"] == worker_counts[0]
+    )
+    served_match = all(
+        r["per_query_results"] == built.per_query_results for r in runs
+    )
+    for r in runs:
+        del r["per_query_results"]  # bulky; equivalence is summarized in checks
+    return {
+        "benchmark": "serving",
+        "workload": {
+            "figure": "fig13",
+            "benchmark": "SN",
+            "n_elements": n_elements,
+            "volume_side": volume_side,
+            "volume_fraction": SCALED_SN_FRACTION,
+            "query_count": query_count,
+            "seed": seed,
+        },
+        "built": {
+            "total_page_reads": built.total_page_reads,
+            "result_elements": built.result_elements,
+        },
+        "restored": {
+            "total_page_reads": restored_run.total_page_reads,
+            "result_elements": restored_run.result_elements,
+        },
+        "serving": runs,
+        "checks": {
+            "restored_identical_results": built.per_query_results
+            == restored_run.per_query_results,
+            "restored_identical_page_reads": built.reads_by_category
+            == restored_run.reads_by_category,
+            "served_identical_results": served_match,
+            "served_cold_reads_match_harness": cold_single["total_page_reads"]
+            == built.total_page_reads,
+            "throughput_positive": all(r["throughput_qps"] > 0 for r in runs),
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--elements", type=int, default=N_ELEMENTS)
+    parser.add_argument("--side", type=float, default=VOLUME_SIDE)
+    parser.add_argument("--queries", type=int, default=QUERY_COUNT)
+    parser.add_argument("--seed", type=int, default=SEED)
+    parser.add_argument(
+        "--workers", type=int, nargs="+", default=list(WORKER_COUNTS),
+        help="worker counts to sweep",
+    )
+    parser.add_argument(
+        "--snapshot-dir", type=Path, default=None,
+        help="where to write the snapshot (default: a temporary directory)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=Path("BENCH_serving.json"),
+        help="where to write the JSON artifact",
+    )
+    args = parser.parse_args(argv)
+    report = run_serving_bench(
+        args.elements,
+        args.side,
+        args.queries,
+        args.seed,
+        tuple(args.workers),
+        args.snapshot_dir,
+    )
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(f"workload: SN x{report['workload']['query_count']} on "
+          f"{report['workload']['n_elements']} elements")
+    for run in report["serving"]:
+        print(f"  workers={run['workers']} {run['cache']:4s}: "
+              f"{run['throughput_qps']:8.1f} q/s "
+              f"({run['total_page_reads']} page reads, "
+              f"{run['cache_hits']} cache hits)")
+    print(f"checks: {report['checks']}")
+    print(f"wrote {args.out}")
+    return 0 if all(report["checks"].values()) else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,6 +13,7 @@ from repro.core.metadata import MetadataRecord, pack_records_into_pages
 from repro.core.neighbors import compute_neighbors, neighbor_counts
 from repro.core.partition import Partition, compute_partitions, coverage_gaps_exist
 from repro.core.seed_index import RecordBatch, SeedIndex
+from repro.core.snapshot import restore_index, snapshot_index
 
 __all__ = [
     "BuildReport",
@@ -27,4 +28,6 @@ __all__ = [
     "coverage_gaps_exist",
     "neighbor_counts",
     "pack_records_into_pages",
+    "restore_index",
+    "snapshot_index",
 ]

@@ -71,6 +71,11 @@ class CrawlStats:
 
     seeded: bool = False
     records_dequeued: int = 0
+    #: Unique object pages read this query, seed-phase probes included.
+    #: Each page is counted once even when the crawl revisits a page the
+    #: seed phase already probed, so on a cold cache this equals the
+    #: query's object-category buffer-miss reads in ``IOStats`` (the
+    #: paper's per-query object-read metric).
     object_pages_read: int = 0
     #: Peak queued entries: deque length (scalar crawl) or frontier
     #: size (batched crawl; always <= the scalar peak for one query).
@@ -187,6 +192,47 @@ class FLATIndex:
             store, seed_index, object_page_element_ids, len(element_mbrs), report
         )
 
+    # -- persistence -------------------------------------------------------
+
+    def snapshot(self, directory) -> "Path":
+        """Serialize this index (pages + directories) into *directory*.
+
+        The snapshot is self-describing and reopenable with
+        :meth:`restore`; see :mod:`repro.core.snapshot` for the layout.
+        """
+        from repro.core.snapshot import snapshot_index
+
+        return snapshot_index(self, directory)
+
+    @classmethod
+    def restore(cls, directory, buffer=None, decoded=None) -> "FLATIndex":
+        """Reopen a snapshot over a read-only mmap-backed file store.
+
+        Queries against the restored index read the same pages and
+        return the same element ids as against the original build.
+        """
+        from repro.core.snapshot import restore_index
+
+        return restore_index(directory, buffer=buffer, decoded=decoded)
+
+    def with_store(self, store: PageStore) -> "FLATIndex":
+        """A shallow clone of this index served from *store*.
+
+        *store* must expose the same page ids (typically a
+        :meth:`~repro.storage.pagestore.PageStore.view` of this index's
+        store).  Directories — the record directory, the object-page
+        element ids, the build report — are shared read-only; per-query
+        scratch state is per-clone, so each serving worker can crawl
+        concurrently over its own stat-isolated store.
+        """
+        return FLATIndex(
+            store,
+            self.seed_index.with_store(store),
+            self.object_page_element_ids,
+            self.element_count,
+            self.build_report,
+        )
+
     # -- querying -------------------------------------------------------------
 
     def range_query(self, query: np.ndarray) -> np.ndarray:
@@ -205,6 +251,8 @@ class FLATIndex:
         self.last_crawl_stats = stats
 
         seeded = self.seed_index.seed_query(query)
+        pages_read = set(self.seed_index.last_probe_object_page_ids)
+        stats.object_pages_read = len(pages_read)
         if seeded is None:
             return np.empty(0, dtype=np.int64)
         start_record, _slots = seeded
@@ -225,7 +273,8 @@ class FLATIndex:
 
             page_hits = boxes_intersect_box(batch.page_mbrs, query)
             hit_page_ids = batch.object_page_ids[page_hits]
-            stats.object_pages_read += len(hit_page_ids)
+            pages_read.update(int(pid) for pid in hit_page_ids)
+            stats.object_pages_read = len(pages_read)
             for page_id, elements in zip(
                 hit_page_ids, self.store.read_elements_many(hit_page_ids)
             ):
@@ -269,6 +318,8 @@ class FLATIndex:
         self.last_crawl_stats = stats
 
         seeded = self.seed_index.seed_query(query)
+        pages_read = set(self.seed_index.last_probe_object_page_ids)
+        stats.object_pages_read = len(pages_read)
         if seeded is None:
             return np.empty(0, dtype=np.int64)
         start_record, _slots = seeded
@@ -287,7 +338,8 @@ class FLATIndex:
                 elements = self.store.read_elements(
                     record.object_page_id, cached=False
                 )
-                stats.object_pages_read += 1
+                pages_read.add(record.object_page_id)
+                stats.object_pages_read = len(pages_read)
                 mask = boxes_intersect_box(elements, query)
                 if mask.any():
                     results.append(

@@ -98,6 +98,11 @@ class SeedIndex:
         self.record_slot = record_slot
         #: leaf page id -> record ids stored on it, in slot order.
         self.leaf_record_ids = leaf_record_ids
+        #: Object page ids probed (read + decoded) by the most recent
+        #: :meth:`seed_query` call, in probe order.  The crawl engines
+        #: consult this so a page the seed phase already read is not
+        #: counted again in :class:`~repro.core.flat_index.CrawlStats`.
+        self.last_probe_object_page_ids: list = []
 
     @property
     def record_count(self) -> int:
@@ -172,6 +177,24 @@ class SeedIndex:
             record_page,
             record_slot,
             leaf_record_ids,
+        )
+
+    def with_store(self, store: PageStore) -> "SeedIndex":
+        """A shallow clone reading its pages from *store*.
+
+        The tree layout and record directory are shared read-only (all
+        index structures are bulkloaded and immutable); only the store —
+        and with it the caches and I/O accounting — is swapped.  Used to
+        give each serving worker a stat-isolated view of one index.
+        """
+        return SeedIndex(
+            store,
+            self.root_id,
+            self.height,
+            self.leaf_page_ids,
+            self.record_page,
+            self.record_slot,
+            self.leaf_record_ids,
         )
 
     # -- record access ------------------------------------------------------
@@ -278,6 +301,8 @@ class SeedIndex:
         page the seed phase already parsed.
         """
         query = np.asarray(query, dtype=np.float64)
+        probed: list = []
+        self.last_probe_object_page_ids = probed
         stack = [(self.root_id, self.height)]
         while stack:
             page_id, level = stack.pop()
@@ -289,6 +314,7 @@ class SeedIndex:
                 ):
                     if not boxes_intersect_box(page_mbr[None, :], query)[0]:
                         continue
+                    probed.append(int(object_page_id))
                     elements = self.store.read_elements(int(object_page_id))
                     mask = boxes_intersect_box(elements, query)
                     if mask.any():

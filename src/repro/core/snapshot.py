@@ -1,0 +1,165 @@
+"""Persist a built FLAT index to a directory and reopen it from disk.
+
+A snapshot directory is fully self-describing:
+
+* ``pages.dat`` / ``categories.bin`` / ``manifest.json`` — every page
+  of the backing store, byte-identical and in the same page-id order
+  (see :mod:`repro.storage.filestore`), so all pointers baked into the
+  serialized pages stay valid verbatim.
+* ``index.npz`` — the in-RAM directories: the record directory
+  (``record_page`` / ``record_slot``), the seed tree's leaf page ids,
+  the object-page → element-id mapping (CSR form) and the build
+  report's pointer-count histogram.
+* ``index.json`` — scalars: element count, seed root/height, build
+  timings and a format version.
+
+``restore`` reopens the pages through a read-only ``mmap``-backed
+:class:`~repro.storage.filestore.FilePageStore`; queries against the
+restored index read the same pages and return the same elements as
+against the original in-memory build (pinned by tests on the Fig. 13
+SN workload).  Restoring is the cheap path — no partitioning, neighbor
+discovery or packing — which is what lets a serving process reopen a
+prebuilt index in milliseconds.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.storage.filestore import FilePageStore, write_store_snapshot
+from repro.storage.pagestore import PageStoreError
+
+#: Array bundle and scalar manifest inside a snapshot directory.
+INDEX_ARRAYS_FILENAME = "index.npz"
+INDEX_META_FILENAME = "index.json"
+
+#: Bumped on any incompatible change to the index serialization.
+INDEX_FORMAT_VERSION = 1
+
+
+def snapshot_index(flat, directory) -> Path:
+    """Serialize *flat* (a built ``FLATIndex``) into *directory*."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    write_store_snapshot(flat.store, directory)
+
+    seed = flat.seed_index
+    object_page_ids = np.fromiter(
+        flat.object_page_element_ids.keys(),
+        dtype=np.int64,
+        count=len(flat.object_page_element_ids),
+    )
+    element_id_lists = [
+        np.asarray(flat.object_page_element_ids[int(pid)], dtype=np.int64)
+        for pid in object_page_ids
+    ]
+    offsets = np.zeros(len(element_id_lists) + 1, dtype=np.int64)
+    if element_id_lists:
+        np.cumsum([len(ids) for ids in element_id_lists], out=offsets[1:])
+        values = np.concatenate(element_id_lists)
+    else:
+        values = np.empty(0, dtype=np.int64)
+
+    np.savez_compressed(
+        directory / INDEX_ARRAYS_FILENAME,
+        record_page=seed.record_page,
+        record_slot=seed.record_slot,
+        leaf_page_ids=np.asarray(seed.leaf_page_ids, dtype=np.int64),
+        object_page_ids=object_page_ids,
+        object_page_offsets=offsets,
+        object_page_element_ids=values,
+        pointer_counts=np.asarray(flat.build_report.pointer_counts, dtype=np.int64),
+    )
+
+    report = flat.build_report
+    meta = {
+        "format_version": INDEX_FORMAT_VERSION,
+        "index": "FLAT",
+        "element_count": int(flat.element_count),
+        "seed_root_id": int(seed.root_id),
+        "seed_height": int(seed.height),
+        "build_report": {
+            "partitioning_seconds": report.partitioning_seconds,
+            "finding_neighbors_seconds": report.finding_neighbors_seconds,
+            "packing_seconds": report.packing_seconds,
+            "partition_count": int(report.partition_count),
+        },
+    }
+    (directory / INDEX_META_FILENAME).write_text(json.dumps(meta, indent=2) + "\n")
+    return directory
+
+
+def restore_index(directory, buffer=None, decoded=None):
+    """Reopen a snapshot as a ``FLATIndex`` over an mmap-backed store.
+
+    ``buffer`` / ``decoded`` configure the restored store's caches,
+    exactly as in the :class:`~repro.storage.pagestore.PageStore`
+    constructor.  The heavy page payloads stay on disk; only the
+    directories (a few arrays) are loaded into RAM.
+    """
+    from repro.core.flat_index import BuildReport, FLATIndex
+    from repro.core.seed_index import SeedIndex
+
+    directory = Path(directory)
+    meta_path = directory / INDEX_META_FILENAME
+    if not meta_path.exists():
+        raise PageStoreError(f"no index snapshot in {directory}")
+    meta = json.loads(meta_path.read_text())
+    if meta.get("format_version") != INDEX_FORMAT_VERSION:
+        raise PageStoreError(
+            f"unsupported index snapshot format {meta.get('format_version')!r}"
+        )
+
+    with np.load(directory / INDEX_ARRAYS_FILENAME) as bundle:
+        record_page = bundle["record_page"]
+        record_slot = bundle["record_slot"]
+        leaf_page_ids = [int(pid) for pid in bundle["leaf_page_ids"]]
+        object_page_ids = bundle["object_page_ids"]
+        offsets = bundle["object_page_offsets"]
+        values = bundle["object_page_element_ids"]
+        pointer_counts = bundle["pointer_counts"]
+
+    # Leaf page id -> record ids in slot order, rebuilt from the record
+    # directory (one lexsort instead of a per-leaf scan).
+    order = np.lexsort((record_slot, record_page))
+    boundaries = np.flatnonzero(np.diff(record_page[order])) + 1
+    leaf_record_ids = {
+        int(record_page[group[0]]): group
+        for group in (np.split(order, boundaries) if len(order) else [])
+    }
+
+    object_page_element_ids = {
+        int(pid): values[offsets[i]:offsets[i + 1]]
+        for i, pid in enumerate(object_page_ids)
+    }
+
+    store = FilePageStore.open(directory, buffer=buffer, decoded=decoded)
+    seed = SeedIndex(
+        store,
+        root_id=int(meta["seed_root_id"]),
+        height=int(meta["seed_height"]),
+        leaf_page_ids=leaf_page_ids,
+        record_page=record_page,
+        record_slot=record_slot,
+        leaf_record_ids=leaf_record_ids,
+    )
+    report_meta = meta.get("build_report", {})
+    report = BuildReport(
+        partitioning_seconds=float(report_meta.get("partitioning_seconds", 0.0)),
+        finding_neighbors_seconds=float(
+            report_meta.get("finding_neighbors_seconds", 0.0)
+        ),
+        packing_seconds=float(report_meta.get("packing_seconds", 0.0)),
+        partition_count=int(report_meta.get("partition_count", 0)),
+        pointer_counts=pointer_counts,
+    )
+    return FLATIndex(
+        store,
+        seed,
+        object_page_element_ids,
+        int(meta["element_count"]),
+        report,
+    )

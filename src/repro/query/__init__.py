@@ -1,4 +1,5 @@
-"""Query workloads, the engine protocol and the cold-cache harness."""
+"""Query workloads, the engine protocol, the cold-cache harness and the
+concurrent serving layer."""
 
 from repro.query.engine import CallableEngine, QueryEngine
 from repro.query.benchmarks import (
@@ -12,6 +13,7 @@ from repro.query.benchmarks import (
     sn_benchmark,
 )
 from repro.query.executor import QueryRunResult, run_point_queries, run_queries
+from repro.query.service import QueryService, ServiceReport
 from repro.query.workload import random_points, random_range_queries
 
 __all__ = [
@@ -22,8 +24,10 @@ __all__ = [
     "QUERY_COUNT",
     "QueryEngine",
     "QueryRunResult",
+    "QueryService",
     "SCALED_LSS_FRACTION",
     "SCALED_SN_FRACTION",
+    "ServiceReport",
     "lss_benchmark",
     "random_points",
     "random_range_queries",

@@ -11,6 +11,13 @@ At reproduction scale (thousands instead of millions of elements) the
 paper's literal fractions would return empty results, so the *scaled*
 fractions keep the paper's per-query result-set regime; both are
 provided and every harness accepts either.
+
+Every query has *exactly* the spec's volume: since the fixed-volume
+clamp fix in :func:`~repro.query.workload.random_range_queries`,
+extents clamped to the space span redistribute the lost volume onto the
+other axes, so the Fig. 12–19 workloads keep their nominal selectivity
+even on anisotropic spaces (an earlier version silently shrank clamped
+queries).
 """
 
 from __future__ import annotations

@@ -1,0 +1,202 @@
+"""Concurrent range-query serving over per-worker store views.
+
+The build/measure harness (:func:`repro.query.executor.run_queries`)
+is deliberately single-threaded — the paper's figures are per-query
+page-read counts.  Serving is the other regime: one immutable index,
+many concurrent readers, throughput as the metric.  ``QueryService``
+bridges the two without giving up the accounting:
+
+* every worker thread lazily gets its **own** engine clone
+  (:meth:`FLATIndex.with_store <repro.core.flat_index.FLATIndex.with_store>`)
+  over a stat-isolated :meth:`~repro.storage.pagestore.PageStore.view`
+  of the shared store, so buffer pools, decoded-page caches, per-query
+  crawl scratch and :class:`~repro.storage.stats.IOStats` are all
+  thread-private while the page bytes (e.g. one read-only ``mmap``)
+  are shared;
+* :meth:`QueryService.run` executes a query batch through the thread
+  pool and aggregates the per-worker counters into one
+  :class:`ServiceReport`, with results in request order.
+
+Works with any engine exposing ``range_query`` plus ``store`` and
+``with_store`` (FLAT today); the page payloads are immutable, so
+concurrent reads need no locking anywhere in the storage layer.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.storage.stats import IOStats
+
+
+@dataclass
+class ServiceReport:
+    """Aggregated outcome of one query batch served concurrently."""
+
+    index_name: str
+    worker_count: int
+    query_count: int = 0
+    result_elements: int = 0
+    wall_seconds: float = 0.0
+    #: Physical page reads summed over every worker's stat view.
+    reads_by_category: dict = field(default_factory=dict)
+    #: Full page decodes by decode kind, summed over workers.
+    decodes_by_kind: dict = field(default_factory=dict)
+    cache_hits: int = 0
+    #: Worker threads that actually served at least one query.
+    workers_used: int = 0
+    per_query_results: list = field(default_factory=list)
+
+    @property
+    def total_page_reads(self) -> int:
+        return sum(self.reads_by_category.values())
+
+    @property
+    def throughput_qps(self) -> float:
+        """Served queries per wall-clock second."""
+        if self.wall_seconds <= 0.0:
+            return float("nan")
+        return self.query_count / self.wall_seconds
+
+
+class QueryService:
+    """Serve range queries from a thread pool over one shared index.
+
+    Parameters
+    ----------
+    index:
+        A built (or restored) index exposing ``range_query``, ``store``
+        and ``with_store`` — typically a
+        :class:`~repro.core.flat_index.FLATIndex` reopened from a
+        snapshot over the mmap-backed file store.
+    workers:
+        Thread-pool size; each thread serves from its own store view.
+    clear_cache_per_query:
+        ``True`` (default) reproduces the paper's cold-cache regime —
+        each worker drops its buffer and decoded-page cache before
+        every query.  ``False`` serves warm: caches accumulate across
+        queries within each worker.
+    """
+
+    def __init__(self, index, workers: int = 4, clear_cache_per_query: bool = True):
+        if workers <= 0:
+            raise ValueError(f"workers must be positive, got {workers}")
+        self._index = index
+        self.worker_count = workers
+        self.clear_cache_per_query = clear_cache_per_query
+        self._local = threading.local()
+        self._worker_states: list = []
+        self._states_lock = threading.Lock()
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="query-worker"
+        )
+        self._closed = False
+
+    # -- worker state ---------------------------------------------------
+
+    def _worker(self):
+        """This thread's (engine, store) pair, created on first use."""
+        state = getattr(self._local, "state", None)
+        if state is None:
+            store = self._index.store.view()
+            state = (self._index.with_store(store), store)
+            self._local.state = state
+            with self._states_lock:
+                self._worker_states.append(state)
+        return state
+
+    def _execute(self, query: np.ndarray) -> np.ndarray:
+        engine, store = self._worker()
+        if self.clear_cache_per_query:
+            store.clear_cache()
+        return engine.range_query(query)
+
+    # -- serving --------------------------------------------------------
+
+    def submit(self, query):
+        """Enqueue one range query; returns a :class:`~concurrent.futures.Future`."""
+        if self._closed:
+            raise RuntimeError("service is closed")
+        query = np.asarray(query, dtype=np.float64)
+        return self._pool.submit(self._execute, query)
+
+    def run(self, queries, index_name: str = "") -> ServiceReport:
+        """Serve a whole batch; results aggregate into the report.
+
+        Queries are dispatched to the pool all at once and collected in
+        request order; the report's counters are the exact difference
+        each worker's :class:`IOStats` accumulated during this batch.
+        """
+        if self._closed:
+            raise RuntimeError("service is closed")
+        queries = np.asarray(queries, dtype=np.float64)
+        if queries.ndim != 2 or queries.shape[1] != 6:
+            raise ValueError(f"expected (N, 6) query boxes, got {queries.shape}")
+        report = ServiceReport(
+            index_name=index_name or type(self._index).__name__,
+            worker_count=self.worker_count,
+        )
+        with self._states_lock:
+            before = {
+                id(store): store.stats.snapshot()
+                for _engine, store in self._worker_states
+            }
+
+        t0 = time.perf_counter()
+        futures = [self._pool.submit(self._execute, query) for query in queries]
+        results = [future.result() for future in futures]
+        report.wall_seconds = time.perf_counter() - t0
+
+        report.query_count = len(results)
+        report.per_query_results = [len(hits) for hits in results]
+        report.result_elements = sum(report.per_query_results)
+
+        delta = IOStats()
+        with self._states_lock:
+            states = list(self._worker_states)
+        for _engine, store in states:
+            prior = before.get(id(store))
+            worker_delta = store.stats.diff(prior) if prior else store.stats
+            if worker_delta.total_reads or worker_delta.cache_hits:
+                report.workers_used += 1
+            delta.merge(worker_delta)
+        report.reads_by_category = dict(delta.reads)
+        report.decodes_by_kind = dict(delta.decode_misses)
+        report.cache_hits = delta.cache_hits
+        return report
+
+    # -- introspection --------------------------------------------------
+
+    def aggregate_stats(self) -> IOStats:
+        """Lifetime I/O counters merged across every worker view."""
+        total = IOStats()
+        with self._states_lock:
+            states = list(self._worker_states)
+        for _engine, store in states:
+            total.merge(store.stats)
+        return total
+
+    @property
+    def workers_started(self) -> int:
+        """Worker threads that have served at least one query ever."""
+        with self._states_lock:
+            return len(self._worker_states)
+
+    # -- lifecycle ------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the thread pool down (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -25,10 +25,22 @@ def random_range_queries(
     random aspect factors (log-uniform, product 1, each within
     ``[1/max_aspect, max_aspect]``); its position is uniform such that
     the box lies fully inside the space.
+
+    On anisotropic spaces (or for large fractions) an extent can exceed
+    the space span; it is then clamped to the span and the lost volume
+    is redistributed onto the unclamped axes, so every generated box has
+    *exactly* the target volume (the redistributed axes may exceed the
+    nominal aspect bound).  Raises :class:`ValueError` when the volume
+    cannot fit, i.e. ``volume_fraction > 1``.
     """
     space_mbr = np.asarray(space_mbr, dtype=np.float64)
     if not 0.0 < volume_fraction:
         raise ValueError(f"volume_fraction must be positive, got {volume_fraction}")
+    if volume_fraction > 1.0:
+        raise ValueError(
+            f"volume_fraction {volume_fraction} exceeds the space volume; "
+            "a fixed-volume query cannot be larger than the space"
+        )
     if count <= 0:
         raise ValueError(f"count must be positive, got {count}")
     if max_aspect < 1.0:
@@ -45,12 +57,60 @@ def random_range_queries(
     log_f = rng.uniform(-np.log(max_aspect), np.log(max_aspect), size=(count, 3))
     log_f -= log_f.mean(axis=1, keepdims=True)
     extents = edge * np.exp(log_f)
-    # Clamp to the space span (can only occur for huge fractions), then
-    # restore the volume by scaling the other axes where possible.
-    extents = np.minimum(extents, span)
+    extents = _clamp_preserving_volume(extents, span, target_volume)
 
     lo = space_mbr[:3] + rng.uniform(0.0, 1.0, size=(count, 3)) * (span - extents)
     return np.concatenate([lo, lo + extents], axis=1)
+
+
+def _clamp_preserving_volume(
+    extents: np.ndarray, span: np.ndarray, target_volume: float
+) -> np.ndarray:
+    """Clamp per-axis extents to *span* without changing the box volume.
+
+    Whenever an axis exceeds the space span it is pinned to the span and
+    the lost volume is redistributed onto the remaining free axes
+    (scaled uniformly, preserving their relative aspect).  Rescaling can
+    push a previously-fine axis over the span, so the clamp iterates —
+    at most once per axis, since every round pins at least one more
+    axis.  With ``target_volume <= prod(span)`` the iteration always
+    terminates with the volume exactly restored: the per-row extent
+    product is invariantly the target volume, so all three axes can only
+    end up pinned when the target *is* the space volume.
+    """
+    fixed = np.zeros(extents.shape, dtype=bool)
+    # One extra round beyond the axis count: the final rescale can push
+    # an axis a few ulps over the span, which only the next round's pin
+    # (a no-op rescale, every other axis already fixed) cleans up.
+    for _ in range(extents.shape[1] + 1):
+        newly = (extents > span) & ~fixed
+        if not newly.any():
+            break
+        fixed |= newly
+        extents = np.where(fixed, np.broadcast_to(span, extents.shape), extents)
+        free = ~fixed
+        free_counts = free.sum(axis=1)
+        pinned_volume = np.where(fixed, extents, 1.0).prod(axis=1)
+        free_volume = np.where(free, extents, 1.0).prod(axis=1)
+        scale = np.where(
+            free_counts > 0,
+            (target_volume / (pinned_volume * free_volume))
+            ** (1.0 / np.maximum(free_counts, 1)),
+            1.0,
+        )
+        extents = np.where(free, extents * scale[:, None], extents)
+
+    # Ulp-level overshoot can survive the last rescale; pin it without
+    # rescaling (the deviation is checked below, far inside tolerance).
+    extents = np.minimum(extents, span)
+    volumes = extents.prod(axis=1)
+    if not np.allclose(volumes, target_volume, rtol=1e-9):
+        worst = float(np.abs(volumes - target_volume).max())
+        raise ValueError(
+            f"cannot fit fixed-volume queries of {target_volume} into the "
+            f"space (worst volume deviation {worst})"
+        )
+    return extents
 
 
 def random_points(space_mbr: np.ndarray, count: int, seed: int = 0) -> np.ndarray:

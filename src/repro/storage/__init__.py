@@ -7,7 +7,13 @@ substitute for the authors' SAS disk array:
 
 * :class:`~repro.storage.pagestore.PageStore` — an append-only page
   store; every page belongs to a *category* (object page, R-Tree leaf,
-  metadata, ...) and every read is counted per category.
+  metadata, ...) and every read is counted per category.  Page bytes
+  live behind a pluggable backend; :meth:`PageStore.view` hands out
+  stat-isolated stores over the same pages for concurrent readers.
+* :class:`~repro.storage.filestore.FilePageStore` — the same store over
+  a single on-disk file, reopened read-only through ``mmap``
+  (build-once/reopen-many; the substrate of index snapshots and the
+  serving layer).
 * :class:`~repro.storage.buffer.BufferPool` — an LRU page buffer that
   models the OS page cache.  The paper clears caches before every query;
   the query executor does the same via :meth:`PageStore.clear_cache`.
@@ -43,7 +49,12 @@ from repro.storage.decoded_cache import (
     DecodedPageCache,
 )
 from repro.storage.diskmodel import DiskModel
-from repro.storage.pagestore import PageStore, PageStoreError
+from repro.storage.pagestore import MemoryPageBackend, PageStore, PageStoreError
+from repro.storage.filestore import (
+    FilePageBackend,
+    FilePageStore,
+    write_store_snapshot,
+)
 
 __all__ = [
     "BufferPool",
@@ -56,12 +67,16 @@ __all__ = [
     "CATEGORY_RTREE_LEAF",
     "CATEGORY_SEED_INTERNAL",
     "DiskModel",
+    "FilePageBackend",
+    "FilePageStore",
     "IOStats",
     "MBR_BYTES",
+    "MemoryPageBackend",
     "NODE_ENTRY_BYTES",
     "NODE_FANOUT",
     "OBJECT_PAGE_CAPACITY",
     "PAGE_SIZE",
     "PageStore",
     "PageStoreError",
+    "write_store_snapshot",
 ]

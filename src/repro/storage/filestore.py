@@ -1,0 +1,280 @@
+"""File-backed page storage: one on-disk file, read through ``mmap``.
+
+The in-memory :class:`~repro.storage.pagestore.PageStore` is perfect
+for build-and-measure experiments but every run pays the full bulkload.
+This module is the build-once/reopen-many half of the storage layer: a
+:class:`FilePageBackend` keeps all pages concatenated in a single data
+file (``pages.dat``), with a one-byte-per-page category sidecar
+(``categories.bin``) and a JSON manifest, so a snapshot directory is
+self-describing.  Opened read-only, the data file is mapped with
+:mod:`mmap` and page reads are slices of the mapping — the OS page
+cache does the heavy lifting, and any number of serving workers can
+share one mapping through stat-isolated :meth:`PageStore.view` stores.
+
+Accounting semantics are identical to the memory store: the backend
+only supplies bytes; buffer pool, decoded-page cache and per-category
+:class:`~repro.storage.stats.IOStats` live in the owning store.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import os
+from pathlib import Path
+
+from repro.storage.buffer import BufferPool
+from repro.storage.constants import PAGE_SIZE
+from repro.storage.decoded_cache import DecodedPageCache
+from repro.storage.pagestore import PageStore, PageStoreError
+from repro.storage.stats import ALL_CATEGORIES
+
+#: Files making up one on-disk page store.
+PAGES_FILENAME = "pages.dat"
+CATEGORIES_FILENAME = "categories.bin"
+MANIFEST_FILENAME = "manifest.json"
+
+#: Bumped on any incompatible change to the directory layout.
+STORE_FORMAT_VERSION = 1
+
+_CATEGORY_CODE = {name: code for code, name in enumerate(ALL_CATEGORIES)}
+
+
+class FilePageBackend:
+    """Page payloads in a single on-disk file.
+
+    Two modes:
+
+    * :meth:`create` — appends pages to the data file as they are
+      allocated (reads go through :func:`os.pread`, so build-time
+      read-back works); :meth:`flush` persists the category sidecar and
+      manifest, making the directory reopenable.
+    * :meth:`open` — maps the data file read-only through :mod:`mmap`.
+      Page reads are slices of the mapping, safely shareable between
+      any number of stores and threads; :meth:`append` is rejected.
+    """
+
+    def __init__(self, directory: Path, writable: bool, categories: list):
+        self.directory = directory
+        self.writable = writable
+        self._categories = categories
+        self._file = None
+        self._mmap = None
+        self._closed = False
+        #: Buffered appends not yet visible to ``os.pread``.
+        self._unflushed_writes = False
+
+    # -- constructors --------------------------------------------------
+
+    @classmethod
+    def create(cls, directory) -> "FilePageBackend":
+        """Start a new writable on-disk store in *directory*."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        backend = cls(directory, writable=True, categories=[])
+        backend._file = open(directory / PAGES_FILENAME, "wb+")
+        return backend
+
+    @classmethod
+    def open(cls, directory) -> "FilePageBackend":
+        """Map an existing on-disk store read-only."""
+        directory = Path(directory)
+        manifest_path = directory / MANIFEST_FILENAME
+        if not manifest_path.exists():
+            raise PageStoreError(f"no page-store manifest in {directory}")
+        manifest = json.loads(manifest_path.read_text())
+        if manifest.get("format_version") != STORE_FORMAT_VERSION:
+            raise PageStoreError(
+                f"unsupported store format {manifest.get('format_version')!r}"
+            )
+        if manifest.get("page_size") != PAGE_SIZE:
+            raise PageStoreError(
+                f"store was written with {manifest.get('page_size')}-byte pages, "
+                f"this build uses {PAGE_SIZE}"
+            )
+        page_count = int(manifest["page_count"])
+        codes = (directory / CATEGORIES_FILENAME).read_bytes()
+        if len(codes) != page_count:
+            raise PageStoreError(
+                f"category sidecar has {len(codes)} entries for "
+                f"{page_count} pages"
+            )
+        try:
+            categories = [ALL_CATEGORIES[code] for code in codes]
+        except IndexError:
+            raise PageStoreError("corrupt category sidecar") from None
+        backend = cls(directory, writable=False, categories=categories)
+        backend._file = open(directory / PAGES_FILENAME, "rb")
+        size = os.fstat(backend._file.fileno()).st_size
+        if size != page_count * PAGE_SIZE:
+            backend._file.close()
+            raise PageStoreError(
+                f"data file holds {size} bytes, expected {page_count * PAGE_SIZE}"
+            )
+        if page_count:
+            backend._mmap = mmap.mmap(
+                backend._file.fileno(), size, access=mmap.ACCESS_READ
+            )
+        return backend
+
+    # -- backend protocol ----------------------------------------------
+
+    def append(self, payload: bytes, category: str) -> int:
+        self._check_open()
+        if not self.writable:
+            raise PageStoreError("store was opened read-only")
+        page_id = len(self._categories)
+        self._file.write(payload)
+        self._unflushed_writes = True
+        self._categories.append(category)
+        return page_id
+
+    def payload(self, page_id: int) -> bytes:
+        self._check_open()
+        offset = page_id * PAGE_SIZE
+        if self._mmap is not None:
+            return self._mmap[offset:offset + PAGE_SIZE]
+        if self._unflushed_writes:
+            self._file.flush()
+            self._unflushed_writes = False
+        return os.pread(self._file.fileno(), PAGE_SIZE, offset)
+
+    def category(self, page_id: int) -> str:
+        return self._categories[page_id]
+
+    def iter_categories(self):
+        return iter(self._categories)
+
+    def __len__(self) -> int:
+        return len(self._categories)
+
+    # -- persistence ---------------------------------------------------
+
+    def flush(self) -> None:
+        """Persist the category sidecar and manifest (writable mode)."""
+        self._check_open()
+        if not self.writable:
+            return
+        self._file.flush()
+        self._unflushed_writes = False
+        codes = bytes(_CATEGORY_CODE[c] for c in self._categories)
+        (self.directory / CATEGORIES_FILENAME).write_bytes(codes)
+        manifest = {
+            "format_version": STORE_FORMAT_VERSION,
+            "page_size": PAGE_SIZE,
+            "page_count": len(self._categories),
+        }
+        (self.directory / MANIFEST_FILENAME).write_text(
+            json.dumps(manifest, indent=2) + "\n"
+        )
+
+    def close(self) -> None:
+        """Flush (if writable) and release the file/mapping."""
+        if self._closed:
+            return
+        if self.writable:
+            self.flush()
+        self._release()
+
+    def discard(self) -> None:
+        """Release the file *without* publishing the sidecar/manifest.
+
+        Called when writing a store is abandoned mid-way: the manifest
+        is only ever written by a successful :meth:`flush`/:meth:`close`,
+        so a partial directory stays unopenable instead of silently
+        passing :meth:`open`'s consistency checks with fewer pages.
+        """
+        if not self._closed:
+            self._release()
+
+    def _release(self) -> None:
+        if self._mmap is not None:
+            self._mmap.close()
+            self._mmap = None
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+        self._closed = True
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise PageStoreError(f"store in {self.directory} is closed")
+
+
+class FilePageStore(PageStore):
+    """A :class:`PageStore` whose pages live in an on-disk file.
+
+    Same category-tagged accounting, buffer pool and decoded-page cache
+    as the memory store — only the byte backend differs.  Use
+    :meth:`create` to build a new store on disk and :meth:`open` to map
+    an existing one read-only; :meth:`PageStore.view` hands out
+    stat-isolated stores over the same mapping for concurrent readers.
+    """
+
+    def __init__(
+        self,
+        backend: FilePageBackend,
+        buffer: BufferPool | None = None,
+        decoded: DecodedPageCache | None = None,
+    ):
+        super().__init__(buffer=buffer, decoded=decoded, backend=backend)
+
+    @classmethod
+    def create(cls, directory, buffer=None, decoded=None) -> "FilePageStore":
+        return cls(FilePageBackend.create(directory), buffer, decoded)
+
+    @classmethod
+    def open(cls, directory, buffer=None, decoded=None) -> "FilePageStore":
+        return cls(FilePageBackend.open(directory), buffer, decoded)
+
+    @property
+    def directory(self) -> Path:
+        return self.backend.directory
+
+    def flush(self) -> None:
+        self.backend.flush()
+
+    def close(self) -> None:
+        self.backend.close()
+
+    def discard(self) -> None:
+        """Abandon a store being written; see :meth:`FilePageBackend.discard`."""
+        self.backend.discard()
+
+    def __enter__(self) -> "FilePageStore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # An exception mid-write must not publish a valid-looking
+        # manifest over a partial page file.
+        if exc_type is not None and self.backend.writable:
+            self.discard()
+        else:
+            self.close()
+
+
+def write_store_snapshot(store: PageStore, directory) -> Path:
+    """Copy every page of *store* into a new on-disk store directory.
+
+    Pages are read silently (no I/O accounting — snapshotting is not a
+    query) and land in the same page-id order, so pointers baked into
+    index structures stay valid verbatim in the reopened store.
+    """
+    directory = Path(directory)
+    source_dir = getattr(store.backend, "directory", None)
+    if source_dir is not None and Path(source_dir).resolve() == directory.resolve():
+        # Creating the target truncates pages.dat — the very file the
+        # source store is mmapping — losing the store and SIGBUS-ing
+        # the process on the next page read.
+        raise PageStoreError(
+            f"cannot snapshot a store into its own directory {directory}"
+        )
+    target = FilePageBackend.create(directory)
+    try:
+        for page_id in range(len(store)):
+            target.append(store.read_silent(page_id), store.category(page_id))
+    except BaseException:
+        target.discard()
+        raise
+    target.close()
+    return directory

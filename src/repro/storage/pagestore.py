@@ -23,6 +23,45 @@ class PageStoreError(Exception):
     """Raised for invalid page ids, payload sizes, or categories."""
 
 
+class MemoryPageBackend:
+    """In-RAM page payloads: the default, build-anywhere backend.
+
+    A backend owns only the page *bytes* and their categories; caching,
+    accounting and decoding live in :class:`PageStore`, so any number of
+    stat-isolated stores (see :meth:`PageStore.view`) can share one
+    backend.  The file/mmap counterpart is
+    :class:`repro.storage.filestore.FilePageBackend`.
+    """
+
+    #: Memory backends always accept :meth:`append`.
+    writable = True
+
+    def __init__(self):
+        self._pages: list[bytes] = []
+        self._categories: list[str] = []
+
+    def append(self, payload: bytes, category: str) -> int:
+        """Store one page payload; returns the new page id."""
+        page_id = len(self._pages)
+        self._pages.append(payload)
+        self._categories.append(category)
+        return page_id
+
+    def payload(self, page_id: int) -> bytes:
+        """The raw bytes of a page (bounds already checked by the store)."""
+        return self._pages[page_id]
+
+    def category(self, page_id: int) -> str:
+        return self._categories[page_id]
+
+    def iter_categories(self):
+        """Yield every page's category, in page-id order."""
+        return iter(self._categories)
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+
 class PageStore:
     """Append-only page store with category-tagged I/O accounting.
 
@@ -37,18 +76,37 @@ class PageStore:
         Optional :class:`DecodedPageCache` memoizing decoded page
         contents (the CPU-side analogue of the buffer pool), invalidated
         together with the buffer by :meth:`clear_cache`.
+    backend:
+        Where the page bytes live.  Defaults to a fresh
+        :class:`MemoryPageBackend`; pass a shared backend (or use
+        :meth:`view`) to get multiple stores with independent caches and
+        stats over the same pages — e.g. one per serving worker.
     """
 
     def __init__(
         self,
         buffer: BufferPool | None = None,
         decoded: DecodedPageCache | None = None,
+        backend=None,
     ):
-        self._pages: list[bytes] = []
-        self._categories: list[str] = []
+        self.backend = MemoryPageBackend() if backend is None else backend
         self.buffer = BufferPool() if buffer is None else buffer
         self.decoded = DecodedPageCache() if decoded is None else decoded
         self.stats = IOStats()
+
+    def view(
+        self,
+        buffer: BufferPool | None = None,
+        decoded: DecodedPageCache | None = None,
+    ) -> "PageStore":
+        """A stat-isolated store over the same pages.
+
+        The returned store shares this store's backend (same page ids,
+        same bytes) but has its own buffer pool, decoded-page cache and
+        :class:`IOStats`, so concurrent readers never contend on — or
+        pollute — each other's caches and counters.
+        """
+        return PageStore(buffer=buffer, decoded=decoded, backend=self.backend)
 
     # -- allocation ----------------------------------------------------
 
@@ -65,9 +123,9 @@ class PageStore:
             )
         if category not in ALL_CATEGORIES:
             raise PageStoreError(f"unknown page category: {category!r}")
-        page_id = len(self._pages)
-        self._pages.append(payload)
-        self._categories.append(category)
+        if not self.backend.writable:
+            raise PageStoreError("cannot allocate pages on a read-only backend")
+        page_id = self.backend.append(payload, category)
         self.stats.record_write(category)
         return page_id
 
@@ -82,7 +140,7 @@ class PageStore:
                 self.stats.record_cache_hit()
                 return cached
             self.buffer.put(page_id, payload)
-        self.stats.record_read(self._categories[page_id])
+        self.stats.record_read(self.backend.category(page_id))
         return payload
 
     def read_many(self, page_ids) -> list:
@@ -138,12 +196,15 @@ class PageStore:
         """
         return self._payload(page_id)
 
-    def _payload(self, page_id: int) -> bytes:
-        if not 0 <= page_id < len(self._pages):
+    def _check_bounds(self, page_id: int) -> None:
+        if not 0 <= page_id < len(self.backend):
             raise PageStoreError(
-                f"page id {page_id} out of range (store has {len(self._pages)} pages)"
+                f"page id {page_id} out of range (store has {len(self.backend)} pages)"
             )
-        return self._pages[page_id]
+
+    def _payload(self, page_id: int) -> bytes:
+        self._check_bounds(page_id)
+        return self.backend.payload(page_id)
 
     # -- cache control ---------------------------------------------------
 
@@ -158,15 +219,15 @@ class PageStore:
 
     def category(self, page_id: int) -> str:
         """The category a page was allocated under."""
-        self._payload(page_id)  # bounds check
-        return self._categories[page_id]
+        self._check_bounds(page_id)
+        return self.backend.category(page_id)
 
     def __len__(self) -> int:
-        return len(self._pages)
+        return len(self.backend)
 
     def pages_in(self, *categories: str) -> int:
         """Number of allocated pages in the given categories."""
-        return sum(1 for c in self._categories if c in categories)
+        return sum(1 for c in self.backend.iter_categories() if c in categories)
 
     def bytes_in(self, *categories: str) -> int:
         """Allocated bytes in the given categories."""
@@ -175,4 +236,4 @@ class PageStore:
     @property
     def size_bytes(self) -> int:
         """Total allocated bytes (index size, as in Fig. 11/22)."""
-        return len(self._pages) * PAGE_SIZE
+        return len(self.backend) * PAGE_SIZE

@@ -1,0 +1,150 @@
+"""Snapshot/restore round-trip guarantees for FLAT.
+
+The acceptance bar: an index built in memory, snapshotted to a
+directory and restored over the mmap-backed file store must return
+byte-identical query results *and* page-read counts — pinned here on
+the Fig. 13 SN workload (the microcircuit structural-neighborhood
+benchmark) and on uniform data.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import FLATIndex, restore_index, snapshot_index
+from repro.core.snapshot import INDEX_ARRAYS_FILENAME, INDEX_META_FILENAME
+from repro.data.microcircuit import build_microcircuit
+from repro.query import BenchmarkSpec, SCALED_SN_FRACTION, run_queries
+from repro.storage import FilePageStore, PageStore, PageStoreError
+
+
+def random_mbrs(n, seed=0, span=100.0, extent=2.0):
+    rng = np.random.default_rng(seed)
+    lo = rng.uniform(0, span, size=(n, 3))
+    return np.concatenate([lo, lo + rng.uniform(0.01, extent, size=(n, 3))], axis=1)
+
+
+@pytest.fixture(scope="module")
+def sn_round_trip(tmp_path_factory):
+    """One built + restored index pair on the Fig. 13 SN workload."""
+    circuit = build_microcircuit(8000, side=15.0, seed=3)
+    store = PageStore()
+    flat = FLATIndex.build(store, circuit.mbrs(), space_mbr=circuit.space_mbr)
+    queries = BenchmarkSpec("SN", SCALED_SN_FRACTION, 40).queries(
+        circuit.space_mbr, seed=11
+    )
+    directory = tmp_path_factory.mktemp("snapshots") / "sn"
+    flat.snapshot(directory)
+    restored = FLATIndex.restore(directory)
+    yield flat, store, restored, queries, directory
+    restored.store.close()
+
+
+class TestFig13SNEquivalence:
+    def test_byte_identical_results(self, sn_round_trip):
+        flat, store, restored, queries, _ = sn_round_trip
+        for query in queries:
+            store.clear_cache()
+            restored.store.clear_cache()
+            expected = flat.range_query(query)
+            got = restored.range_query(query)
+            assert got.dtype == expected.dtype
+            assert np.array_equal(got, expected)
+
+    def test_identical_page_read_counts(self, sn_round_trip):
+        flat, store, restored, queries, _ = sn_round_trip
+        built = run_queries(flat, store, queries, "built")
+        reopened = run_queries(restored, restored.store, queries, "restored")
+        assert reopened.per_query_results == built.per_query_results
+        assert reopened.per_query_reads == built.per_query_reads
+        assert reopened.reads_by_category == built.reads_by_category
+        assert reopened.decodes_by_kind == built.decodes_by_kind
+
+    def test_restored_pages_byte_identical(self, sn_round_trip):
+        flat, store, restored, _, _ = sn_round_trip
+        assert len(restored.store) == len(store)
+        for page_id in range(len(store)):
+            assert restored.store.read_silent(page_id) == store.read_silent(page_id)
+            assert restored.store.category(page_id) == store.category(page_id)
+
+    def test_restored_store_is_mmap_backed(self, sn_round_trip):
+        _, _, restored, _, _ = sn_round_trip
+        assert isinstance(restored.store, FilePageStore)
+        assert not restored.store.backend.writable
+
+
+class TestRestoredDirectories:
+    def test_directories_match(self, sn_round_trip):
+        flat, _, restored, _, _ = sn_round_trip
+        assert restored.element_count == flat.element_count
+        assert restored.object_page_count == flat.object_page_count
+        seed, restored_seed = flat.seed_index, restored.seed_index
+        assert restored_seed.root_id == seed.root_id
+        assert restored_seed.height == seed.height
+        assert restored_seed.leaf_page_ids == seed.leaf_page_ids
+        assert np.array_equal(restored_seed.record_page, seed.record_page)
+        assert np.array_equal(restored_seed.record_slot, seed.record_slot)
+        for page_id, ids in seed.leaf_record_ids.items():
+            assert np.array_equal(restored_seed.leaf_record_ids[page_id], ids)
+        for page_id, ids in flat.object_page_element_ids.items():
+            assert np.array_equal(restored.object_page_element_ids[page_id], ids)
+
+    def test_build_report_round_trips(self, sn_round_trip):
+        flat, _, restored, _, _ = sn_round_trip
+        assert restored.build_report.partition_count == (
+            flat.build_report.partition_count
+        )
+        assert np.array_equal(
+            restored.build_report.pointer_counts, flat.build_report.pointer_counts
+        )
+        assert restored.pointer_count_histogram() == flat.pointer_count_histogram()
+
+    def test_snapshot_files_present(self, sn_round_trip):
+        *_, directory = sn_round_trip
+        assert (directory / INDEX_ARRAYS_FILENAME).exists()
+        meta = json.loads((directory / INDEX_META_FILENAME).read_text())
+        assert meta["index"] == "FLAT"
+
+
+class TestSnapshotErrors:
+    def test_restore_missing_directory(self, tmp_path):
+        with pytest.raises(PageStoreError):
+            restore_index(tmp_path / "missing")
+
+    def test_restore_bad_format_version(self, tmp_path):
+        flat = FLATIndex.build(PageStore(), random_mbrs(200, seed=1))
+        snapshot_index(flat, tmp_path / "snap")
+        meta_path = tmp_path / "snap" / INDEX_META_FILENAME
+        meta = json.loads(meta_path.read_text())
+        meta["format_version"] = 999
+        meta_path.write_text(json.dumps(meta))
+        with pytest.raises(PageStoreError):
+            restore_index(tmp_path / "snap")
+
+
+class TestWithStore:
+    def test_clone_over_view_matches_original(self):
+        store = PageStore()
+        flat = FLATIndex.build(store, random_mbrs(2000, seed=2))
+        clone = flat.with_store(store.view())
+        rng = np.random.default_rng(5)
+        for _ in range(10):
+            lo = rng.uniform(-5, 105, size=3)
+            query = np.concatenate([lo, lo + rng.uniform(0.5, 20, size=3)])
+            store.clear_cache()
+            expected = flat.range_query(query)
+            clone.store.clear_cache()
+            assert np.array_equal(clone.range_query(query), expected)
+            # Stats accumulate on the view, not on the original store.
+            assert clone.store.stats.total_reads > 0
+        assert store.stats.total_reads > 0  # original's own queries
+
+    def test_clone_stats_isolated(self):
+        store = PageStore()
+        flat = FLATIndex.build(store, random_mbrs(800, seed=4))
+        before = store.stats.snapshot()
+        clone = flat.with_store(store.view())
+        clone.range_query(np.array([10.0, 10, 10, 40, 40, 40]))
+        assert store.stats.diff(before).total_reads == 0
+        assert clone.store.stats.total_reads > 0

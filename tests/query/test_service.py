@@ -1,0 +1,127 @@
+"""Tests for the concurrent QueryService."""
+
+import numpy as np
+import pytest
+
+from repro.core import FLATIndex
+from repro.query import (
+    BenchmarkSpec,
+    QueryService,
+    SCALED_SN_FRACTION,
+    run_queries,
+)
+from repro.storage import PageStore
+
+
+def build_flat(n=3000, seed=0):
+    rng = np.random.default_rng(seed)
+    lo = rng.uniform(0, 100, size=(n, 3))
+    mbrs = np.concatenate([lo, lo + rng.uniform(0.01, 2, size=(n, 3))], axis=1)
+    store = PageStore()
+    return FLATIndex.build(store, mbrs), store
+
+
+@pytest.fixture(scope="module")
+def served_setup():
+    flat, store = build_flat()
+    space = np.array([0.0, 0, 0, 102, 102, 102])
+    queries = BenchmarkSpec("SN", SCALED_SN_FRACTION, 30).queries(space, seed=1)
+    serial = run_queries(flat, store, queries, "serial")
+    return flat, store, queries, serial
+
+
+class TestServedResults:
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_results_match_serial_harness(self, served_setup, workers):
+        flat, _store, queries, serial = served_setup
+        with QueryService(flat, workers=workers) as service:
+            report = service.run(queries, "served")
+        assert report.per_query_results == serial.per_query_results
+        assert report.result_elements == serial.result_elements
+        assert report.query_count == serial.query_count
+
+    def test_cold_page_reads_match_serial_harness(self, served_setup):
+        # Cold-cache serving reproduces the paper's accounting exactly,
+        # no matter how many workers split the batch.
+        flat, _store, queries, serial = served_setup
+        with QueryService(flat, workers=4) as service:
+            report = service.run(queries)
+        assert report.reads_by_category == serial.reads_by_category
+        assert report.decodes_by_kind == serial.decodes_by_kind
+
+    def test_warm_serving_reads_fewer_pages(self, served_setup):
+        flat, _store, queries, serial = served_setup
+        with QueryService(flat, workers=1, clear_cache_per_query=False) as service:
+            report = service.run(queries)
+        assert report.per_query_results == serial.per_query_results
+        assert report.total_page_reads < serial.total_page_reads
+        assert report.cache_hits > 0
+
+    def test_submit_single_queries(self, served_setup):
+        flat, _store, queries, serial = served_setup
+        with QueryService(flat, workers=2) as service:
+            futures = [service.submit(q) for q in queries[:5]]
+            lengths = [len(f.result()) for f in futures]
+        assert lengths == serial.per_query_results[:5]
+
+
+class TestWorkerIsolation:
+    def test_main_store_stats_untouched(self, served_setup):
+        flat, store, queries, _serial = served_setup
+        before = store.stats.snapshot()
+        with QueryService(flat, workers=2) as service:
+            service.run(queries)
+        assert store.stats.diff(before).total_reads == 0
+
+    def test_report_counts_workers_used(self, served_setup):
+        flat, _store, queries, _serial = served_setup
+        with QueryService(flat, workers=2) as service:
+            report = service.run(queries)
+            assert 1 <= report.workers_used <= 2
+            assert service.workers_started == report.workers_used
+
+    def test_aggregate_stats_accumulate_across_runs(self, served_setup):
+        flat, _store, queries, serial = served_setup
+        with QueryService(flat, workers=2) as service:
+            service.run(queries)
+            service.run(queries)
+            total = service.aggregate_stats()
+        assert total.total_reads == 2 * serial.total_page_reads
+
+    def test_successive_runs_report_only_their_own_io(self, served_setup):
+        flat, _store, queries, serial = served_setup
+        with QueryService(flat, workers=2) as service:
+            first = service.run(queries)
+            second = service.run(queries)
+        assert first.reads_by_category == serial.reads_by_category
+        assert second.reads_by_category == serial.reads_by_category
+
+
+class TestServiceLifecycle:
+    def test_closed_service_rejects_work(self, served_setup):
+        flat, _store, queries, _serial = served_setup
+        service = QueryService(flat, workers=1)
+        service.close()
+        with pytest.raises(RuntimeError):
+            service.run(queries)
+        with pytest.raises(RuntimeError):
+            service.submit(queries[0])
+        service.close()  # idempotent
+
+    def test_invalid_worker_count(self, served_setup):
+        flat, *_ = served_setup
+        with pytest.raises(ValueError):
+            QueryService(flat, workers=0)
+
+    def test_invalid_query_shape(self, served_setup):
+        flat, *_ = served_setup
+        with QueryService(flat, workers=1) as service:
+            with pytest.raises(ValueError):
+                service.run(np.zeros((4, 3)))
+
+    def test_throughput_reported(self, served_setup):
+        flat, _store, queries, _serial = served_setup
+        with QueryService(flat, workers=2) as service:
+            report = service.run(queries)
+        assert report.throughput_qps > 0
+        assert report.wall_seconds > 0

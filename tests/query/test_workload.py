@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.geometry import mbr_contains_mbr, mbr_volume
 from repro.query import (
@@ -12,6 +14,16 @@ from repro.query import (
 )
 
 SPACE = np.array([0.0, 0, 0, 285, 285, 285])
+
+#: The paper's Sec. VII-A invariant: every query has *exactly* the target
+#: volume — including on anisotropic spaces, where naive per-axis
+#: clamping used to shrink it silently.
+SPACES = {
+    "isotropic": np.array([0.0, 0, 0, 100, 100, 100]),
+    "slab": np.array([0.0, 0, 0, 100, 100, 1]),
+    "needle": np.array([0.0, 0, 0, 1000, 1, 1]),
+    "offset_slab": np.array([-50.0, 20, 3, 150, 220, 4]),
+}
 
 
 class TestRandomRangeQueries:
@@ -56,6 +68,92 @@ class TestRandomRangeQueries:
             random_range_queries(SPACE, 1e-4, 10, max_aspect=0.5)
         with pytest.raises(ValueError):
             random_range_queries(np.array([0.0, 0, 0, 0, 1, 1]), 1e-4, 10)
+
+
+class TestFixedVolumeInvariant:
+    """Property-style checks of the fixed-volume workload contract."""
+
+    @pytest.mark.parametrize("space_name", sorted(SPACES))
+    @pytest.mark.parametrize("fraction", [1e-6, 1e-3, 0.05, 0.5, 1.0])
+    def test_volume_exact_on_every_space_shape(self, space_name, fraction):
+        space = SPACES[space_name]
+        q = random_range_queries(space, fraction, 100, seed=17)
+        span = space[3:] - space[:3]
+        target = fraction * float(np.prod(span))
+        assert np.allclose(mbr_volume(q), target, rtol=1e-6)
+
+    @pytest.mark.parametrize("space_name", sorted(SPACES))
+    @pytest.mark.parametrize("fraction", [1e-3, 0.05, 1.0])
+    def test_boxes_inside_space(self, space_name, fraction):
+        space = SPACES[space_name]
+        q = random_range_queries(space, fraction, 100, seed=18)
+        for box in q:
+            assert mbr_contains_mbr(space, box)
+
+    def test_slab_regression_volume_within_tolerance(self):
+        # The exact anisotropic case from the original bug report: a
+        # 100 x 100 x 1 slab at 5% volume used to generate volumes
+        # between 20 and 186 instead of 500.
+        slab = np.array([0.0, 0, 0, 100, 100, 1])
+        q = random_range_queries(slab, 0.05, 200, seed=19)
+        assert np.abs(mbr_volume(q) / 500.0 - 1.0).max() < 1e-6
+
+    def test_unclamped_extents_respect_aspect_bounds(self):
+        # Tiny fractions never clamp.  Raw aspect factors live in
+        # [1/max_aspect, max_aspect]; normalizing their product to one
+        # shifts each log factor by at most a third of the range, so
+        # per-axis extents stay within edge * max_aspect^(±4/3) and the
+        # widest pairwise ratio within max_aspect^2.
+        space = SPACES["isotropic"]
+        fraction, max_aspect = 1e-5, 4.0
+        q = random_range_queries(space, fraction, 200, seed=20, max_aspect=max_aspect)
+        edge = (fraction * 100.0**3) ** (1 / 3)
+        ext = q[:, 3:] - q[:, :3]
+        bound = max_aspect ** (4 / 3)
+        assert (ext >= edge / bound - 1e-12).all()
+        assert (ext <= edge * bound + 1e-12).all()
+        ratio = ext.max(axis=1) / ext.min(axis=1)
+        assert ratio.max() <= max_aspect**2 + 1e-9
+
+    def test_clamped_axes_pinned_to_span(self):
+        # On the needle space at 50% the long axis must carry the whole
+        # spread; the two thin axes are pinned to their span.
+        needle = SPACES["needle"]
+        q = random_range_queries(needle, 0.5, 50, seed=21)
+        ext = q[:, 3:] - q[:, :3]
+        assert np.allclose(ext[:, 1], 1.0)
+        assert np.allclose(ext[:, 2], 1.0)
+        assert np.allclose(ext[:, 0], 500.0)
+
+    def test_full_volume_fills_the_space(self):
+        for space in SPACES.values():
+            q = random_range_queries(space, 1.0, 5, seed=22)
+            span = space[3:] - space[:3]
+            assert np.allclose(q[:, 3:] - q[:, :3], span)
+
+    def test_fraction_above_one_rejected(self):
+        with pytest.raises(ValueError):
+            random_range_queries(SPACE, 1.0000001, 10)
+        with pytest.raises(ValueError):
+            random_range_queries(SPACES["slab"], 2.0, 10)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        log_span=st.tuples(
+            st.floats(-2, 4), st.floats(-2, 4), st.floats(-2, 4)
+        ),
+        log_fraction=st.floats(-9, 0),
+        seed=st.integers(0, 2**31),
+    )
+    def test_property_volume_and_containment(self, log_span, log_fraction, seed):
+        span = np.asarray([10.0**s for s in log_span])
+        space = np.concatenate([np.zeros(3), span])
+        fraction = 10.0**log_fraction
+        q = random_range_queries(space, fraction, 20, seed=seed)
+        target = fraction * float(np.prod(span))
+        assert np.allclose(mbr_volume(q), target, rtol=1e-6)
+        assert (q[:, :3] >= space[:3] - 1e-9 * span).all()
+        assert (q[:, 3:] <= space[3:] + 1e-9 * span).all()
 
 
 class TestRandomPoints:

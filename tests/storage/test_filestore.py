@@ -1,0 +1,205 @@
+"""Tests for the file-backed page store and store views."""
+
+import numpy as np
+import pytest
+
+from repro.storage import (
+    CATEGORY_METADATA,
+    CATEGORY_OBJECT,
+    FilePageStore,
+    PAGE_SIZE,
+    PageStore,
+    PageStoreError,
+    write_store_snapshot,
+)
+from repro.storage.filestore import (
+    CATEGORIES_FILENAME,
+    MANIFEST_FILENAME,
+    PAGES_FILENAME,
+)
+from repro.storage.serial import encode_element_page
+
+
+def make_page(seed=0):
+    rng = np.random.default_rng(seed)
+    lo = rng.uniform(0, 1, size=(5, 3))
+    return encode_element_page(np.concatenate([lo, lo + 1], axis=1))
+
+
+class TestCreateAndReopen:
+    def test_round_trip_payloads_and_categories(self, tmp_path):
+        with FilePageStore.create(tmp_path / "store") as store:
+            payloads = [make_page(i) for i in range(5)]
+            for i, payload in enumerate(payloads):
+                category = CATEGORY_OBJECT if i % 2 == 0 else CATEGORY_METADATA
+                assert store.allocate(payload, category) == i
+
+        with FilePageStore.open(tmp_path / "store") as reopened:
+            assert len(reopened) == 5
+            for i, payload in enumerate(payloads):
+                assert reopened.read(i) == payload
+            assert reopened.category(0) == CATEGORY_OBJECT
+            assert reopened.category(1) == CATEGORY_METADATA
+
+    def test_directory_layout(self, tmp_path):
+        with FilePageStore.create(tmp_path / "s") as store:
+            store.allocate(make_page(), CATEGORY_OBJECT)
+        assert (tmp_path / "s" / PAGES_FILENAME).stat().st_size == PAGE_SIZE
+        assert (tmp_path / "s" / CATEGORIES_FILENAME).stat().st_size == 1
+        assert (tmp_path / "s" / MANIFEST_FILENAME).exists()
+
+    def test_writable_store_reads_back_its_pages(self, tmp_path):
+        store = FilePageStore.create(tmp_path / "s")
+        payload = make_page(3)
+        pid = store.allocate(payload, CATEGORY_OBJECT)
+        assert store.read(pid) == payload
+        assert store.read_silent(pid) == payload
+        store.close()
+
+    def test_read_accounting_matches_memory_store(self, tmp_path):
+        with FilePageStore.create(tmp_path / "s") as store:
+            store.allocate(make_page(), CATEGORY_OBJECT)
+        with FilePageStore.open(tmp_path / "s") as reopened:
+            reopened.read(0)
+            reopened.read(0)
+            assert reopened.stats.reads == {CATEGORY_OBJECT: 1}
+            assert reopened.stats.cache_hits == 1
+            reopened.clear_cache()
+            reopened.read(0)
+            assert reopened.stats.reads == {CATEGORY_OBJECT: 2}
+
+
+class TestReadOnlyAndErrors:
+    def test_reopened_store_rejects_allocation(self, tmp_path):
+        with FilePageStore.create(tmp_path / "s") as store:
+            store.allocate(make_page(), CATEGORY_OBJECT)
+        with FilePageStore.open(tmp_path / "s") as reopened:
+            with pytest.raises(PageStoreError):
+                reopened.allocate(make_page(1), CATEGORY_OBJECT)
+
+    def test_open_missing_directory(self, tmp_path):
+        with pytest.raises(PageStoreError):
+            FilePageStore.open(tmp_path / "nope")
+
+    def test_out_of_range_read(self, tmp_path):
+        with FilePageStore.create(tmp_path / "s") as store:
+            store.allocate(make_page(), CATEGORY_OBJECT)
+        with FilePageStore.open(tmp_path / "s") as reopened:
+            with pytest.raises(PageStoreError):
+                reopened.read(1)
+
+    def test_truncated_data_file_rejected(self, tmp_path):
+        with FilePageStore.create(tmp_path / "s") as store:
+            store.allocate(make_page(), CATEGORY_OBJECT)
+        pages = tmp_path / "s" / PAGES_FILENAME
+        pages.write_bytes(pages.read_bytes()[: PAGE_SIZE // 2])
+        with pytest.raises(PageStoreError):
+            FilePageStore.open(tmp_path / "s")
+
+    def test_closed_store_rejects_reads(self, tmp_path):
+        with FilePageStore.create(tmp_path / "s") as store:
+            store.allocate(make_page(), CATEGORY_OBJECT)
+        reopened = FilePageStore.open(tmp_path / "s")
+        reopened.close()
+        with pytest.raises(PageStoreError):
+            reopened.read(0)
+        reopened.close()  # idempotent
+
+
+class TestSnapshotCopy:
+    def test_write_store_snapshot_copies_everything(self, tmp_path):
+        source = PageStore()
+        payloads = [make_page(i) for i in range(7)]
+        for i, payload in enumerate(payloads):
+            source.allocate(
+                payload, CATEGORY_OBJECT if i < 4 else CATEGORY_METADATA
+            )
+        write_store_snapshot(source, tmp_path / "snap")
+        with FilePageStore.open(tmp_path / "snap") as reopened:
+            assert len(reopened) == len(source)
+            for i, payload in enumerate(payloads):
+                assert reopened.read_silent(i) == payload
+                assert reopened.category(i) == source.category(i)
+            assert reopened.pages_in(CATEGORY_OBJECT) == 4
+
+    def test_snapshot_copy_is_not_charged_as_io(self, tmp_path):
+        source = PageStore()
+        source.allocate(make_page(), CATEGORY_OBJECT)
+        write_store_snapshot(source, tmp_path / "snap")
+        assert source.stats.total_reads == 0
+
+    def test_aborted_snapshot_is_not_openable(self, tmp_path):
+        # A copy that dies mid-way must not publish a manifest that
+        # makes the truncated directory look like a valid store.
+        source = PageStore()
+        for i in range(3):
+            source.allocate(make_page(i), CATEGORY_OBJECT)
+        boom = RuntimeError("disk died")
+        original = source.read_silent
+
+        def failing_read(page_id):
+            if page_id == 2:
+                raise boom
+            return original(page_id)
+
+        source.read_silent = failing_read
+        with pytest.raises(RuntimeError):
+            write_store_snapshot(source, tmp_path / "snap")
+        with pytest.raises(PageStoreError):
+            FilePageStore.open(tmp_path / "snap")
+
+    def test_snapshot_into_own_directory_rejected(self, tmp_path):
+        # Re-snapshotting a file-backed store in place would truncate
+        # the very pages.dat it is mmapping (SIGBUS + data loss).
+        source = PageStore()
+        source.allocate(make_page(), CATEGORY_OBJECT)
+        write_store_snapshot(source, tmp_path / "snap")
+        with FilePageStore.open(tmp_path / "snap") as reopened:
+            with pytest.raises(PageStoreError, match="own directory"):
+                write_store_snapshot(reopened, tmp_path / "snap")
+            # The store is untouched and still readable.
+            assert reopened.read_silent(0) == source.read_silent(0)
+
+    def test_exception_inside_create_context_discards(self, tmp_path):
+        with pytest.raises(RuntimeError):
+            with FilePageStore.create(tmp_path / "s") as store:
+                store.allocate(make_page(), CATEGORY_OBJECT)
+                raise RuntimeError("abort build")
+        with pytest.raises(PageStoreError):
+            FilePageStore.open(tmp_path / "s")
+
+
+class TestStoreViews:
+    def test_view_shares_pages_but_not_stats(self, tmp_path):
+        with FilePageStore.create(tmp_path / "s") as store:
+            payload = make_page(5)
+            store.allocate(payload, CATEGORY_OBJECT)
+        base = FilePageStore.open(tmp_path / "s")
+        try:
+            view_a = base.view()
+            view_b = base.view()
+            assert view_a.read(0) == payload
+            assert view_a.read(0) == payload  # buffered in view_a only
+            assert view_a.stats.reads == {CATEGORY_OBJECT: 1}
+            assert view_a.stats.cache_hits == 1
+            assert view_b.stats.total_reads == 0
+            assert view_b.read(0) == payload
+            assert view_b.stats.reads == {CATEGORY_OBJECT: 1}
+            assert base.stats.total_reads == 0
+        finally:
+            base.close()
+
+    def test_memory_store_view(self):
+        store = PageStore()
+        pid = store.allocate(make_page(9), CATEGORY_OBJECT)
+        view = store.view()
+        assert view.read(pid) == store.read_silent(pid)
+        assert view.stats.total_reads == 1
+        assert store.stats.total_reads == 0
+        assert len(view) == len(store)
+
+    def test_view_sees_later_allocations(self):
+        store = PageStore()
+        view = store.view()
+        pid = store.allocate(make_page(1), CATEGORY_OBJECT)
+        assert view.read(pid) == store.read_silent(pid)
