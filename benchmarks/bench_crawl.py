@@ -14,10 +14,7 @@ Run ``python benchmarks/bench_crawl.py`` to print a summary and emit
 
 from __future__ import annotations
 
-import argparse
-import json
-from pathlib import Path
-
+from bench_common import describe_workload, finish, workload_parser
 from repro.core import FLATIndex
 from repro.data.microcircuit import build_microcircuit
 from repro.query import BenchmarkSpec, CallableEngine, SCALED_SN_FRACTION, run_queries
@@ -95,31 +92,26 @@ def run_crawl_bench(
 
 
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--elements", type=int, default=N_ELEMENTS)
-    parser.add_argument("--side", type=float, default=VOLUME_SIDE)
-    parser.add_argument("--queries", type=int, default=QUERY_COUNT)
-    parser.add_argument("--seed", type=int, default=SEED)
-    parser.add_argument(
-        "--out", type=Path, default=Path("BENCH_crawl.json"),
-        help="where to write the JSON artifact",
+    parser = workload_parser(
+        __doc__.splitlines()[0],
+        elements=N_ELEMENTS,
+        side=VOLUME_SIDE,
+        queries=QUERY_COUNT,
+        seed=SEED,
+        out="BENCH_crawl.json",
     )
     args = parser.parse_args(argv)
     report = run_crawl_bench(args.elements, args.side, args.queries, args.seed)
-    args.out.write_text(json.dumps(report, indent=2) + "\n")
 
     scalar, batched = report["scalar"], report["batched"]
-    print(f"workload: SN x{report['workload']['query_count']} on "
-          f"{report['workload']['n_elements']} elements")
+    print(describe_workload(report))
     print(f"metadata decodes: scalar={scalar['metadata_decodes']} "
           f"batched={batched['metadata_decodes']} "
           f"({report['metadata_decode_reduction']:.1f}x reduction)")
     print(f"cpu seconds: scalar={scalar['cpu_seconds']:.3f} "
           f"batched={batched['cpu_seconds']:.3f} "
           f"({report['cpu_speedup']:.2f}x speedup)")
-    print(f"checks: {report['checks']}")
-    print(f"wrote {args.out}")
-    return 0 if all(report["checks"].values()) else 1
+    return finish(report, args.out)
 
 
 if __name__ == "__main__":

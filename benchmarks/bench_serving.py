@@ -16,11 +16,10 @@ PRs).
 
 from __future__ import annotations
 
-import argparse
-import json
 import tempfile
 from pathlib import Path
 
+from bench_common import describe_workload, finish, workload_parser
 from repro.core import FLATIndex
 from repro.data.microcircuit import build_microcircuit
 from repro.query import BenchmarkSpec, QueryService, SCALED_SN_FRACTION, run_queries
@@ -133,11 +132,14 @@ def run_serving_bench(
 
 
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--elements", type=int, default=N_ELEMENTS)
-    parser.add_argument("--side", type=float, default=VOLUME_SIDE)
-    parser.add_argument("--queries", type=int, default=QUERY_COUNT)
-    parser.add_argument("--seed", type=int, default=SEED)
+    parser = workload_parser(
+        __doc__.splitlines()[0],
+        elements=N_ELEMENTS,
+        side=VOLUME_SIDE,
+        queries=QUERY_COUNT,
+        seed=SEED,
+        out="BENCH_serving.json",
+    )
     parser.add_argument(
         "--workers", type=int, nargs="+", default=list(WORKER_COUNTS),
         help="worker counts to sweep",
@@ -145,10 +147,6 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--snapshot-dir", type=Path, default=None,
         help="where to write the snapshot (default: a temporary directory)",
-    )
-    parser.add_argument(
-        "--out", type=Path, default=Path("BENCH_serving.json"),
-        help="where to write the JSON artifact",
     )
     args = parser.parse_args(argv)
     report = run_serving_bench(
@@ -159,18 +157,14 @@ def main(argv=None) -> int:
         tuple(args.workers),
         args.snapshot_dir,
     )
-    args.out.write_text(json.dumps(report, indent=2) + "\n")
 
-    print(f"workload: SN x{report['workload']['query_count']} on "
-          f"{report['workload']['n_elements']} elements")
+    print(describe_workload(report))
     for run in report["serving"]:
         print(f"  workers={run['workers']} {run['cache']:4s}: "
               f"{run['throughput_qps']:8.1f} q/s "
               f"({run['total_page_reads']} page reads, "
               f"{run['cache_hits']} cache hits)")
-    print(f"checks: {report['checks']}")
-    print(f"wrote {args.out}")
-    return 0 if all(report["checks"].values()) else 1
+    return finish(report, args.out)
 
 
 if __name__ == "__main__":

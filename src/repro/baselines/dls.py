@@ -22,7 +22,14 @@ from collections import deque
 import numpy as np
 
 from repro.geometry.intersect import boxes_intersect_box
-from repro.geometry.mbr import mbr_center, point_as_box, validate_mbrs
+from repro.geometry.mbr import (
+    mbr_center,
+    mbr_distance_to_point,
+    mbr_union_many,
+    point_as_box,
+    validate_mbrs,
+)
+from repro.query.knn import expanding_radius_knn
 
 
 def chain_adjacency(n_elements: int, chain_length: int) -> list:
@@ -137,6 +144,30 @@ class ConnectivityCrawler:
         so the baseline runs under the same harness as the indexes.
         """
         return self.range_query(point_as_box(point))
+
+    def knn_query(
+        self, point: np.ndarray, k: int, return_distances: bool = False
+    ) -> np.ndarray:
+        """The *k* nearest reachable elements: expanding-radius crawling.
+
+        Runs the same expanding-radius skeleton as FLAT's kNN
+        (:func:`~repro.query.knn.expanding_radius_knn`), but over the
+        connectivity crawl — so it inherits :meth:`range_query`'s
+        failure mode: candidates in a different connected component
+        than the seed are never reached, exactly the concave-data
+        deficiency the paper describes.
+        """
+        ids, dists, _rounds = expanding_radius_knn(
+            point,
+            k,
+            element_count=len(self.mbrs),
+            cover=mbr_union_many(self.mbrs),
+            range_query=self.range_query,
+            distances=lambda ids, p: mbr_distance_to_point(self.mbrs[ids], p),
+        )
+        if return_distances:
+            return ids, dists
+        return ids
 
     def misses(self, query: np.ndarray) -> np.ndarray:
         """Matching elements the crawl cannot reach (the paper's failure)."""

@@ -13,6 +13,7 @@ from repro.core.metadata import MetadataRecord, pack_records_into_pages
 from repro.core.neighbors import compute_neighbors, neighbor_counts
 from repro.core.partition import Partition, compute_partitions, coverage_gaps_exist
 from repro.core.seed_index import RecordBatch, SeedIndex
+from repro.core.sharded import Shard, ShardedFLATIndex
 from repro.core.snapshot import restore_index, snapshot_index
 
 __all__ = [
@@ -23,6 +24,8 @@ __all__ = [
     "Partition",
     "RecordBatch",
     "SeedIndex",
+    "Shard",
+    "ShardedFLATIndex",
     "compute_neighbors",
     "compute_partitions",
     "coverage_gaps_exist",

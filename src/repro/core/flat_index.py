@@ -35,7 +35,13 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.geometry.intersect import boxes_intersect_box
-from repro.geometry.mbr import point_as_box, validate_mbrs
+from repro.geometry.mbr import (
+    mbr_distance_to_point,
+    mbr_union_many,
+    point_as_box,
+    validate_mbrs,
+)
+from repro.query.knn import expanding_radius_knn
 from repro.storage.constants import OBJECT_PAGE_CAPACITY
 from repro.storage.pagestore import PageStore
 from repro.storage.serial import encode_element_page
@@ -121,10 +127,19 @@ class FLATIndex:
         self.element_count = element_count
         self.build_report = build_report
         self.last_crawl_stats: CrawlStats | None = None
+        #: Expanding-radius rounds of the most recent :meth:`knn_query`.
+        self.last_knn_rounds: int = 0
         #: Reusable visited bitmask for the batched crawl (cleared per
         #: query), so query cost never includes an O(record_count)
         #: allocation.
         self._visited_scratch: np.ndarray | None = None
+        #: Lazily built kNN directories — ``element_page``/``element_slot``
+        #: (element id -> object page / slot) and ``cover`` (the covering
+        #: box).  A plain dict shared *by reference* across
+        #: :meth:`with_store` clones, so whichever index or worker clone
+        #: builds them first publishes them to every sibling (the values
+        #: are deterministic, so a concurrent double-build is benign).
+        self._knn_state: dict = {}
 
     # -- construction ------------------------------------------------------
 
@@ -225,13 +240,18 @@ class FLATIndex:
         scratch state is per-clone, so each serving worker can crawl
         concurrently over its own stat-isolated store.
         """
-        return FLATIndex(
+        clone = FLATIndex(
             store,
             self.seed_index.with_store(store),
             self.object_page_element_ids,
             self.element_count,
             self.build_report,
         )
+        # Immutable index state: clones share the holder itself, so the
+        # kNN directories are built at most once across all clones no
+        # matter who runs the first kNN query.
+        clone._knn_state = self._knn_state
+        return clone
 
     # -- querying -------------------------------------------------------------
 
@@ -363,6 +383,98 @@ class FLATIndex:
     def point_query(self, point: np.ndarray) -> np.ndarray:
         """Element ids whose MBR contains *point* (degenerate range query)."""
         return self.range_query(point_as_box(point))
+
+    def knn_query(
+        self, point: np.ndarray, k: int, return_distances: bool = False
+    ) -> np.ndarray:
+        """The *k* elements nearest to *point*, as an expanding-radius crawl.
+
+        FLAT has no hierarchy to best-first search, so kNN runs the
+        shared expanding-radius skeleton
+        (:func:`~repro.query.knn.expanding_radius_knn`) over the seeded
+        BFS: crawl a growing box, confirm candidates whose MBR distance
+        is within the radius, stop when ``k`` are confirmed — typically
+        one or two rounds thanks to the density-estimated first radius
+        (:attr:`last_knn_rounds`).
+
+        Results are sorted by ``(distance, element id)``; ties are
+        broken by id, matching the brute-force baseline the tests pin
+        against.  ``return_distances=True`` additionally returns the
+        matching distances (used by the sharded planner's pruning).
+        """
+        stats = CrawlStats()
+
+        def crawl(box):
+            ids = self.range_query(box)
+            round_stats = self.last_crawl_stats
+            stats.seeded = stats.seeded or round_stats.seeded
+            stats.records_dequeued += round_stats.records_dequeued
+            stats.max_queue_length = max(
+                stats.max_queue_length, round_stats.max_queue_length
+            )
+            stats.visited_bytes = max(
+                stats.visited_bytes, round_stats.visited_bytes
+            )
+            # Each box contains every earlier one, so the last round's
+            # unique-page count is the crawl's page footprint.
+            stats.object_pages_read = round_stats.object_pages_read
+            return ids
+
+        ids, dists, rounds = expanding_radius_knn(
+            point,
+            k,
+            element_count=self.element_count,
+            cover=self.covering_mbr(),
+            range_query=crawl,
+            distances=self._element_distances,
+        )
+        stats.result_count = len(ids)
+        self.last_crawl_stats = stats
+        self.last_knn_rounds = rounds
+        if return_distances:
+            return ids, dists
+        return ids
+
+    def _element_distances(self, ids: np.ndarray, point: np.ndarray) -> np.ndarray:
+        """MBR distances of the given element ids to *point*.
+
+        Reads go through the store (buffer + decoded cache), so pages
+        the crawl just visited cost no further physical I/O.
+        """
+        if "element_page" not in self._knn_state:
+            page = np.empty(self.element_count, dtype=np.int64)
+            slot = np.empty(self.element_count, dtype=np.int64)
+            for page_id, element_ids in self.object_page_element_ids.items():
+                page[element_ids] = page_id
+                slot[element_ids] = np.arange(len(element_ids))
+            self._knn_state["element_slot"] = slot
+            self._knn_state["element_page"] = page
+        element_page = self._knn_state["element_page"]
+        element_slot = self._knn_state["element_slot"]
+        dists = np.empty(len(ids), dtype=np.float64)
+        pages = element_page[ids]
+        for page_id in np.unique(pages):
+            mask = pages == page_id
+            elements = self.store.read_elements(int(page_id))
+            boxes = elements[element_slot[ids[mask]]]
+            dists[mask] = mbr_distance_to_point(boxes, point)
+        return dists
+
+    def covering_mbr(self) -> np.ndarray:
+        """The box covering all partitions (the build's effective space).
+
+        Computed once from the metadata records (partition MBRs tile the
+        space gap-free, so their union is exactly the space box passed
+        to — or derived by — :meth:`build`), cached and shared across
+        :meth:`with_store` clones; restored indexes recover it the same
+        way.
+        """
+        if "cover" not in self._knn_state:
+            boxes = np.stack(
+                [record.partition_mbr for record in self.seed_index.iter_records()]
+            )
+            self._knn_state["cover"] = mbr_union_many(boxes)
+        return self._knn_state["cover"]
 
     # -- introspection -----------------------------------------------------------
 

@@ -1,0 +1,326 @@
+"""FLAT, horizontally sharded: K spatial shards behind one query planner.
+
+The monolithic :class:`~repro.core.flat_index.FLATIndex` serves one
+store; this module scales the same design out.  The space is split into
+K *shards* by reusing Algorithm 1's partitioning at coarse granularity
+(:func:`~repro.core.partition.compute_partitions` with a per-shard
+capacity of ``ceil(n / K)``), which inherits both crawl-critical
+properties for free: the shard boxes tile the space gap-free, and every
+shard box is stretched to enclose the MBRs of its elements.  Each shard
+then gets its own complete FLAT index — its own page store, seed tree
+and neighbor graph — over its elements only.
+
+Queries go through a :class:`~repro.query.planner.QueryPlanner`: shards
+whose box misses the query are pruned before any I/O (exact, because
+element containment in the shard box is guaranteed), the rest crawl
+independently, and the per-shard sorted results merge by concatenation
+(shards partition the element set).  kNN visits shards in MINDIST
+order and stops when the next shard is farther than the current k-th
+candidate.  The planner's decision for the most recent query is kept in
+:attr:`ShardedFLATIndex.last_plan` so harnesses report pruning next to
+the paper's page accounting.
+
+Persistence composes the monolithic machinery: ``snapshot()`` writes a
+shard manifest plus one self-describing FLAT snapshot directory per
+shard (each with its own ``pages.dat``), and ``restore()`` reopens
+every shard over a read-only mmap-backed
+:class:`~repro.storage.filestore.FilePageStore`.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.geometry.mbr import point_as_box, validate_mbrs
+from repro.query.planner import QueryPlan, QueryPlanner
+from repro.storage.constants import OBJECT_PAGE_CAPACITY
+from repro.storage.pagestore import PageStore, PageStoreError, PageStoreGroup
+from repro.core.flat_index import CrawlStats, FLATIndex
+from repro.core.partition import compute_partitions
+from repro.core.snapshot import restore_index, snapshot_index
+
+#: Manifest + array bundle of a sharded snapshot directory.
+SHARD_META_FILENAME = "shards.json"
+SHARD_ARRAYS_FILENAME = "shards.npz"
+
+#: Bumped on any incompatible change to the shard-set serialization.
+SHARDED_FORMAT_VERSION = 1
+
+
+def _shard_dirname(shard_id: int) -> str:
+    return f"shard-{shard_id:04d}"
+
+
+@dataclass
+class Shard:
+    """One spatial shard: a complete FLAT index over its own store.
+
+    ``element_ids`` maps the shard-local ids the inner index returns to
+    the data set's global ids; it is kept sorted ascending so local
+    ``(distance, id)`` tie-breaks agree with global ones.
+    """
+
+    shard_id: int
+    #: The shard's gap-free space box (encloses all member element MBRs).
+    mbr: np.ndarray
+    #: Global element ids of the shard's members, ascending.
+    element_ids: np.ndarray
+    index: FLATIndex
+    store: PageStore
+
+    @property
+    def element_count(self) -> int:
+        return len(self.element_ids)
+
+    def to_global(self, local_ids: np.ndarray) -> np.ndarray:
+        """Map shard-local result ids to global ids (order-preserving)."""
+        return self.element_ids[local_ids]
+
+
+class ShardedFLATIndex:
+    """K spatial FLAT shards behind one scatter–gather query planner."""
+
+    def __init__(self, shards: list, planner: QueryPlanner, element_count: int):
+        self.shards = shards
+        self.planner = planner
+        self.element_count = element_count
+        #: One facade over every shard's store, so single-store harnesses
+        #: (``run_queries``, ``QueryService``) drive the shard set as is.
+        self.store = PageStoreGroup([shard.store for shard in shards])
+        #: Planner decision of the most recent query.
+        self.last_plan: QueryPlan | None = None
+        #: Crawl bookkeeping of the most recent query, aggregated over
+        #: the touched shards.
+        self.last_crawl_stats: CrawlStats | None = None
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        element_mbrs: np.ndarray,
+        shard_count: int,
+        space_mbr: np.ndarray | None = None,
+        page_capacity: int = OBJECT_PAGE_CAPACITY,
+        seed_fanout: int | None = None,
+        store_factory=None,
+    ) -> "ShardedFLATIndex":
+        """Shard *element_mbrs* spatially and bulkload FLAT per shard.
+
+        ``shard_count`` is the target; the actual count (``len(shards)``)
+        is whatever the coarse STR tiling produces for it — usually the
+        target exactly, occasionally off by the cube rounding.
+        ``store_factory(shard_id)`` supplies each shard's store (default:
+        a fresh in-memory :class:`PageStore` per shard).
+        """
+        element_mbrs = validate_mbrs(element_mbrs)
+        if shard_count <= 0:
+            raise ValueError(f"shard_count must be positive, got {shard_count}")
+        shard_capacity = max(1, math.ceil(len(element_mbrs) / shard_count))
+        coarse = compute_partitions(element_mbrs, shard_capacity, space_mbr)
+
+        shards = []
+        for shard_id, partition in enumerate(coarse):
+            members = np.sort(partition.element_ids)
+            store = (
+                PageStore() if store_factory is None else store_factory(shard_id)
+            )
+            index = FLATIndex.build(
+                store,
+                element_mbrs[members],
+                space_mbr=partition.partition_mbr,
+                page_capacity=page_capacity,
+                seed_fanout=seed_fanout,
+            )
+            shards.append(
+                Shard(
+                    shard_id=shard_id,
+                    mbr=np.asarray(partition.partition_mbr, dtype=np.float64),
+                    element_ids=members,
+                    index=index,
+                    store=store,
+                )
+            )
+        planner = QueryPlanner(np.stack([shard.mbr for shard in shards]))
+        return cls(shards, planner, len(element_mbrs))
+
+    def with_views(self) -> "ShardedFLATIndex":
+        """A shallow clone where every shard serves from a store view.
+
+        The sharded analogue of :meth:`FLATIndex.with_store`: directories
+        and page bytes are shared, caches and I/O counters are private
+        to the clone — one clone per serving worker.
+        """
+        shards = []
+        for shard in self.shards:
+            view = shard.store.view()
+            shards.append(
+                Shard(
+                    shard_id=shard.shard_id,
+                    mbr=shard.mbr,
+                    element_ids=shard.element_ids,
+                    index=shard.index.with_store(view),
+                    store=view,
+                )
+            )
+        return ShardedFLATIndex(shards, self.planner, self.element_count)
+
+    # -- querying --------------------------------------------------------
+
+    def range_query(self, query: np.ndarray) -> np.ndarray:
+        """Scatter the box to intersecting shards, gather sorted ids."""
+        query = np.asarray(query, dtype=np.float64)
+        selected = self.planner.shards_for_box(query)
+        plan = QueryPlan(len(self.shards), [int(sid) for sid in selected])
+        stats = CrawlStats()
+        parts = []
+        for sid in selected:
+            shard = self.shards[sid]
+            local = shard.index.range_query(query)
+            _merge_crawl_stats(stats, shard.index.last_crawl_stats)
+            if local.size:
+                parts.append(shard.to_global(local))
+        out = QueryPlanner.merge_sorted_ids(parts)
+        stats.result_count = len(out)
+        self.last_plan = plan
+        self.last_crawl_stats = stats
+        return out
+
+    def point_query(self, point: np.ndarray) -> np.ndarray:
+        """Element ids whose MBR contains *point* (degenerate range query)."""
+        return self.range_query(point_as_box(point))
+
+    def knn_query(
+        self, point: np.ndarray, k: int, return_distances: bool = False
+    ) -> np.ndarray:
+        """The *k* nearest elements across shards, best-first over shards.
+
+        Shards are visited in MINDIST order; each contributes its local
+        top k (exact, via FLAT's expanding-radius crawl), and the walk
+        stops when the next shard's box is strictly farther than the
+        current k-th candidate — it cannot contain anything closer, nor
+        an equal-distance element that would win the id tie-break from
+        a *strictly* farther box.
+        """
+        point = np.asarray(point, dtype=np.float64).reshape(3)
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        order, shard_dists = self.planner.shards_by_distance(point)
+        best_ids = np.empty(0, dtype=np.int64)
+        best_dists = np.empty(0, dtype=np.float64)
+        selected = []
+        stats = CrawlStats()
+        for sid, shard_dist in zip(order, shard_dists):
+            if len(best_ids) >= k and shard_dist > best_dists[-1]:
+                break
+            shard = self.shards[sid]
+            local, local_dists = shard.index.knn_query(
+                point, k, return_distances=True
+            )
+            _merge_crawl_stats(stats, shard.index.last_crawl_stats)
+            selected.append(int(sid))
+            ids = np.concatenate([best_ids, shard.to_global(local)])
+            dists = np.concatenate([best_dists, local_dists])
+            keep = np.lexsort((ids, dists))[:k]
+            best_ids, best_dists = ids[keep], dists[keep]
+        stats.result_count = len(best_ids)
+        self.last_plan = QueryPlan(len(self.shards), selected)
+        self.last_crawl_stats = stats
+        if return_distances:
+            return best_ids, best_dists
+        return best_ids
+
+    # -- persistence -----------------------------------------------------
+
+    def snapshot(self, directory) -> Path:
+        """Serialize the shard set: manifest + one FLAT snapshot per shard."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        for shard in self.shards:
+            snapshot_index(shard.index, directory / _shard_dirname(shard.shard_id))
+
+        offsets = np.zeros(len(self.shards) + 1, dtype=np.int64)
+        np.cumsum([shard.element_count for shard in self.shards], out=offsets[1:])
+        np.savez_compressed(
+            directory / SHARD_ARRAYS_FILENAME,
+            shard_mbrs=np.stack([shard.mbr for shard in self.shards]),
+            element_offsets=offsets,
+            element_ids=np.concatenate(
+                [shard.element_ids for shard in self.shards]
+            ),
+        )
+        meta = {
+            "format_version": SHARDED_FORMAT_VERSION,
+            "index": "ShardedFLAT",
+            "shard_count": len(self.shards),
+            "element_count": int(self.element_count),
+        }
+        (directory / SHARD_META_FILENAME).write_text(json.dumps(meta, indent=2) + "\n")
+        return directory
+
+    @classmethod
+    def restore(cls, directory) -> "ShardedFLATIndex":
+        """Reopen a sharded snapshot, every shard over a read-only mmap."""
+        directory = Path(directory)
+        meta_path = directory / SHARD_META_FILENAME
+        if not meta_path.exists():
+            raise PageStoreError(f"no sharded-index snapshot in {directory}")
+        meta = json.loads(meta_path.read_text())
+        if meta.get("format_version") != SHARDED_FORMAT_VERSION:
+            raise PageStoreError(
+                f"unsupported sharded snapshot format {meta.get('format_version')!r}"
+            )
+        with np.load(directory / SHARD_ARRAYS_FILENAME) as bundle:
+            shard_mbrs = bundle["shard_mbrs"]
+            offsets = bundle["element_offsets"]
+            element_ids = bundle["element_ids"]
+
+        shards = []
+        for shard_id in range(int(meta["shard_count"])):
+            index = restore_index(directory / _shard_dirname(shard_id))
+            shards.append(
+                Shard(
+                    shard_id=shard_id,
+                    mbr=shard_mbrs[shard_id],
+                    element_ids=element_ids[offsets[shard_id]:offsets[shard_id + 1]],
+                    index=index,
+                    store=index.store,
+                )
+            )
+        planner = QueryPlanner(shard_mbrs)
+        return cls(shards, planner, int(meta["element_count"]))
+
+    def close(self) -> None:
+        """Close every shard store that supports closing (restored sets)."""
+        self.store.close()
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.shards)
+
+    def shard_element_counts(self) -> list:
+        """Elements per shard, in shard-id order (balance diagnostics)."""
+        return [shard.element_count for shard in self.shards]
+
+
+def _merge_crawl_stats(total: CrawlStats, part: CrawlStats | None) -> None:
+    """Fold one shard's per-query crawl bookkeeping into the aggregate.
+
+    Sums are taken where shards own disjoint resources (records, pages,
+    visited sets); the queue peak is a max because shard crawls run one
+    at a time within a single query.
+    """
+    if part is None:
+        return
+    total.seeded = total.seeded or part.seeded
+    total.records_dequeued += part.records_dequeued
+    total.object_pages_read += part.object_pages_read
+    total.max_queue_length = max(total.max_queue_length, part.max_queue_length)
+    total.visited_bytes += part.visited_bytes

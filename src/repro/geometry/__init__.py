@@ -14,6 +14,7 @@ from repro.geometry.mbr import (
     mbr_center,
     mbr_contains_mbr,
     mbr_contains_point,
+    mbr_distance_to_point,
     mbr_empty,
     mbr_from_points,
     mbr_intersection,
@@ -59,6 +60,7 @@ __all__ = [
     "mbr_center",
     "mbr_contains_mbr",
     "mbr_contains_point",
+    "mbr_distance_to_point",
     "mbr_empty",
     "mbr_from_points",
     "mbr_intersection",

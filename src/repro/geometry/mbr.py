@@ -194,6 +194,25 @@ def mbr_contains_point(mbrs: np.ndarray, point: np.ndarray) -> np.ndarray:
     )
 
 
+def mbr_distance_to_point(mbrs: np.ndarray, point: np.ndarray) -> np.ndarray:
+    """Euclidean distance from *point* to the closest point of each box.
+
+    Zero when the point lies inside (or on the boundary of) a box.  This
+    is the MINDIST metric of classic best-first kNN search over R-Trees
+    and the confirmation predicate of FLAT's expanding-radius crawl: an
+    element whose MBR has distance ``d`` to the query point intersects
+    every box ``[point - r, point + r]`` with ``r >= d`` (the L-inf
+    distance is bounded by the Euclidean one), so all elements within
+    distance ``r`` are found by a range query of radius ``r``.
+    """
+    mbrs = np.asarray(mbrs, dtype=np.float64)
+    point = np.asarray(point, dtype=np.float64)
+    below = mbrs[..., :DIMS] - point
+    above = point - mbrs[..., DIMS:]
+    delta = np.maximum(np.maximum(below, above), 0.0)
+    return np.sqrt((delta * delta).sum(axis=-1))
+
+
 def mbr_union(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     """Smallest box enclosing both arguments (broadcasting)."""
     a = np.asarray(a, dtype=np.float64)

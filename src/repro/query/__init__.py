@@ -1,5 +1,5 @@
-"""Query workloads, the engine protocol, the cold-cache harness and the
-concurrent serving layer."""
+"""Query workloads, the engine protocol, the scatter–gather planner,
+the cold-cache harness and the concurrent serving layer."""
 
 from repro.query.engine import CallableEngine, QueryEngine
 from repro.query.benchmarks import (
@@ -12,25 +12,37 @@ from repro.query.benchmarks import (
     lss_benchmark,
     sn_benchmark,
 )
-from repro.query.executor import QueryRunResult, run_point_queries, run_queries
-from repro.query.service import QueryService, ServiceReport
+from repro.query.executor import (
+    QueryRunResult,
+    run_knn_queries,
+    run_point_queries,
+    run_queries,
+)
+from repro.query.knn import expanding_radius_knn
+from repro.query.planner import QueryPlan, QueryPlanner
+from repro.query.service import GatherFuture, QueryService, ServiceReport
 from repro.query.workload import random_points, random_range_queries
 
 __all__ = [
     "BenchmarkSpec",
     "CallableEngine",
+    "GatherFuture",
     "PAPER_LSS_FRACTION",
     "PAPER_SN_FRACTION",
     "QUERY_COUNT",
     "QueryEngine",
+    "QueryPlan",
+    "QueryPlanner",
     "QueryRunResult",
     "QueryService",
     "SCALED_LSS_FRACTION",
     "SCALED_SN_FRACTION",
     "ServiceReport",
+    "expanding_radius_knn",
     "lss_benchmark",
     "random_points",
     "random_range_queries",
+    "run_knn_queries",
     "run_point_queries",
     "run_queries",
     "sn_benchmark",

@@ -9,6 +9,11 @@ experiment never needs harness changes:
   intersects the ``(6,)`` query box, sorted ascending.
 * ``point_query(point) -> element ids`` — all elements whose MBR
   contains the ``(3,)`` point (a degenerate range query).
+* ``knn_query(point, k) -> element ids`` — the ``k`` elements whose
+  MBRs are nearest the point (Euclidean MINDIST), sorted by
+  ``(distance, id)``.  FLAT answers it with an expanding-radius crawl,
+  the R-Trees with classic best-first search, the sharded index with a
+  MINDIST-ordered walk over shards.
 
 The protocol is structural (:func:`typing.runtime_checkable`): classes
 implement it by shape, without importing this module.  Engines that
@@ -38,6 +43,10 @@ class QueryEngine(Protocol):
         """Element ids whose MBR contains the ``(3,)`` point."""
         ...
 
+    def knn_query(self, point: np.ndarray, k: int) -> np.ndarray:
+        """The ``k`` elements nearest the ``(3,)`` point, by MBR distance."""
+        ...
+
 
 class CallableEngine:
     """Adapt a bare range-query callable into a :class:`QueryEngine`.
@@ -57,6 +66,16 @@ class CallableEngine:
 
     def point_query(self, point: np.ndarray) -> np.ndarray:
         return self._range_fn(point_as_box(point))
+
+    def knn_query(self, point: np.ndarray, k: int, return_distances: bool = False):
+        """Delegate kNN to the source index (range callables can't confirm
+        distances on their own)."""
+        knn = getattr(self._source, "knn_query", None)
+        if knn is None:
+            raise NotImplementedError(
+                "the wrapped callable's source exposes no knn_query"
+            )
+        return knn(point, k, return_distances=return_distances)
 
     @property
     def last_crawl_stats(self):

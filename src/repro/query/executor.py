@@ -1,12 +1,29 @@
 """Query execution harness: cold caches, per-category accounting.
 
-Runs a batch of range queries against any
+Runs a batch of queries against any
 :class:`~repro.query.engine.QueryEngine` over a :class:`PageStore`,
 clearing the buffer (and the decoded-page cache) before every query
 exactly as the paper does ("Before each query is executed, the OS
 caches and disk buffers are cleared").  Alongside page reads, the
 harness aggregates page-*decode* counters, so CPU-side parsing work is
 reported next to the I/O every figure measures.
+
+Three entry points share one accounting loop:
+
+* :func:`run_queries` — ``(N, 6)`` boxes through ``range_query``.
+* :func:`run_point_queries` — ``(N, 3)`` points through the engine's
+  own ``point_query`` (not a caller-side degenerate-box conversion), so
+  point workloads get the same cold-cache accounting through whatever
+  specialized path an engine has.
+* :func:`run_knn_queries` — ``(N, 3)`` points through ``knn_query``.
+
+The harness is planner-aware: engines that expose ``last_plan`` (the
+sharded index) get their per-query shard routing collected into
+:attr:`QueryRunResult.per_query_shards`, so shard pruning is reported
+next to the per-category page reads it saves.  For a sharded engine,
+pass its ``store`` facade (a
+:class:`~repro.storage.pagestore.PageStoreGroup`) as the *store*
+argument — cache clearing and stat snapshots fan out to every shard.
 """
 
 from __future__ import annotations
@@ -16,7 +33,6 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.geometry.mbr import point_as_box
 from repro.storage.diskmodel import DiskModel
 from repro.storage.pagestore import PageStore
 from repro.storage.stats import (
@@ -45,6 +61,8 @@ class QueryRunResult:
     bookkeeping_bytes: list = field(default_factory=list)
     per_query_reads: list = field(default_factory=list)
     per_query_results: list = field(default_factory=list)
+    #: Shards each query was routed to (planner-aware engines only).
+    per_query_shards: list = field(default_factory=list)
 
     # -- totals ----------------------------------------------------------
 
@@ -70,6 +88,13 @@ class QueryRunResult:
             return float("nan")
         return self.total_page_reads / self.result_elements
 
+    @property
+    def mean_shards_touched(self) -> float:
+        """Average shards a query was scattered to (sharded engines)."""
+        if not self.per_query_shards:
+            return float("nan")
+        return float(np.mean(self.per_query_shards))
+
     # -- derived breakdowns ------------------------------------------------
 
     @property
@@ -90,30 +115,22 @@ class QueryRunResult:
         return disk.total_seconds(self.total_page_reads, self.cpu_seconds)
 
 
-def run_queries(
+def _run_batch(
     index,
+    execute,
     store: PageStore,
-    queries: np.ndarray,
-    index_name: str = "",
-    clear_cache_between: bool = True,
+    items: np.ndarray,
+    index_name: str,
+    clear_cache_between: bool,
 ) -> QueryRunResult:
-    """Execute every query, cold-cached, and aggregate the accounting.
-
-    *index* is any :class:`~repro.query.engine.QueryEngine`; the harness
-    only calls ``range_query`` and (optionally) reads
-    ``last_crawl_stats``.
-    """
-    queries = np.asarray(queries, dtype=np.float64)
-    if queries.ndim != 2 or queries.shape[1] != 6:
-        raise ValueError(f"expected (N, 6) query boxes, got {queries.shape}")
+    """The shared accounting loop: cold caches, per-query stat diffs."""
     result = QueryRunResult(index_name=index_name or type(index).__name__)
-
-    for query in queries:
+    for item in items:
         if clear_cache_between:
             store.clear_cache()
         before = store.stats.snapshot()
         t0 = time.perf_counter()
-        hits = index.range_query(query)
+        hits = execute(item)
         result.cpu_seconds += time.perf_counter() - t0
         delta = store.stats.diff(before)
 
@@ -136,7 +153,31 @@ def run_queries(
         crawl = getattr(index, "last_crawl_stats", None)
         if crawl is not None:
             result.bookkeeping_bytes.append(crawl.bookkeeping_bytes)
+        plan = getattr(index, "last_plan", None)
+        if plan is not None:
+            result.per_query_shards.append(len(plan.shards_selected))
     return result
+
+
+def run_queries(
+    index,
+    store: PageStore,
+    queries: np.ndarray,
+    index_name: str = "",
+    clear_cache_between: bool = True,
+) -> QueryRunResult:
+    """Execute every range query, cold-cached, and aggregate the accounting.
+
+    *index* is any :class:`~repro.query.engine.QueryEngine`; the harness
+    only calls ``range_query`` and (optionally) reads
+    ``last_crawl_stats`` / ``last_plan``.
+    """
+    queries = np.asarray(queries, dtype=np.float64)
+    if queries.ndim != 2 or queries.shape[1] != 6:
+        raise ValueError(f"expected (N, 6) query boxes, got {queries.shape}")
+    return _run_batch(
+        index, index.range_query, store, queries, index_name, clear_cache_between
+    )
 
 
 def run_point_queries(
@@ -146,10 +187,43 @@ def run_point_queries(
     index_name: str = "",
     clear_cache_between: bool = True,
 ) -> QueryRunResult:
-    """Point-query variant (Fig. 2's overlap probe)."""
+    """Point-query variant (Fig. 2's overlap probe).
+
+    Drives the engine's own ``point_query`` — the same cold-cache
+    accounting as range batches, through whatever specialized
+    point-lookup path the engine implements.
+    """
     points = np.asarray(points, dtype=np.float64)
     if points.ndim != 2 or points.shape[1] != 3:
         raise ValueError(f"expected (N, 3) points, got {points.shape}")
-    return run_queries(
-        index, store, point_as_box(points), index_name, clear_cache_between
+    return _run_batch(
+        index, index.point_query, store, points, index_name, clear_cache_between
+    )
+
+
+def run_knn_queries(
+    index,
+    store: PageStore,
+    points: np.ndarray,
+    k: int,
+    index_name: str = "",
+    clear_cache_between: bool = True,
+) -> QueryRunResult:
+    """kNN variant: each point through ``knn_query(point, k)``.
+
+    Gives the kNN crawl the same per-category cold-cache accounting as
+    the paper's range workloads, so engines compare on page reads.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2 or points.shape[1] != 3:
+        raise ValueError(f"expected (N, 3) points, got {points.shape}")
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    return _run_batch(
+        index,
+        lambda point: index.knn_query(point, k),
+        store,
+        points,
+        index_name,
+        clear_cache_between,
     )

@@ -1,0 +1,78 @@
+"""The expanding-radius kNN skeleton shared by the crawling engines.
+
+FLAT and the DLS baseline both answer ``knn_query`` the same way: they
+have no hierarchy to best-first search, but they *can* retrieve
+everything intersecting a box at cost proportional to the result — so
+kNN is repeated range querying with a growing box
+``[point - r, point + r]``.  A candidate whose MBR distance is at most
+``r`` is *confirmed*: any unseen element within Euclidean distance
+``r`` has L-inf distance at most ``r`` and therefore intersects the
+box, so nothing outside the candidate set can be closer.  The radius
+doubles until ``k`` candidates are confirmed or the box swallows the
+engine's whole covering box (at which point the candidates are simply
+all elements).
+
+The first radius is the density estimate ``(volume * k / n)^(1/3) / 2``
+— the half-edge of a cube expected to contain ~k elements — plus the
+distance from the query point to the covering box, so far-away points
+do not waste rounds crawling empty space.  Results are ordered by
+``(distance, id)``, matching the brute-force baseline the tests pin
+every engine against.
+
+This module keeps the radius schedule, confirmation predicate and
+tie-break in exactly one place; the engines supply only their range
+retrieval and their way of looking up candidate MBR distances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.mbr import (
+    mbr_contains_mbr,
+    mbr_distance_to_point,
+    mbr_volume,
+)
+
+
+def expanding_radius_knn(
+    point: np.ndarray,
+    k: int,
+    *,
+    element_count: int,
+    cover: np.ndarray,
+    range_query,
+    distances,
+) -> tuple:
+    """Run the expanding-radius loop; returns ``(ids, dists, rounds)``.
+
+    ``range_query(box)`` returns the candidate element ids intersecting
+    a ``(6,)`` box; ``distances(ids, point)`` returns their MBR
+    distances to the point.  ``cover`` is the engine's covering box
+    (every element MBR lies inside it) and ``element_count`` the data
+    set size, both used for the initial-radius estimate and the
+    exhaustion cutoff.
+    """
+    point = np.asarray(point, dtype=np.float64).reshape(3)
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    volume = float(mbr_volume(cover))
+    wanted = min(k, element_count)
+    radius = 0.0
+    if volume > 0.0:
+        radius = 0.5 * (volume * wanted / element_count) ** (1.0 / 3.0)
+    if radius <= 0.0:
+        radius = float((cover[3:] - cover[:3]).max()) or 1.0
+    radius += float(mbr_distance_to_point(cover[None, :], point)[0])
+
+    rounds = 0
+    while True:
+        rounds += 1
+        box = np.concatenate([point - radius, point + radius])
+        ids = range_query(box)
+        dists = distances(ids, point)
+        exhausted = bool(mbr_contains_mbr(box, cover))
+        if exhausted or int((dists <= radius).sum()) >= wanted:
+            order = np.lexsort((ids, dists))[:wanted]
+            return ids[order], dists[order], rounds
+        radius *= 2.0

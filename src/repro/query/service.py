@@ -1,4 +1,4 @@
-"""Concurrent range-query serving over per-worker store views.
+"""Concurrent query serving over per-worker store views, shard-aware.
 
 The build/measure harness (:func:`repro.query.executor.run_queries`)
 is deliberately single-threaded — the paper's figures are per-query
@@ -7,19 +7,27 @@ many concurrent readers, throughput as the metric.  ``QueryService``
 bridges the two without giving up the accounting:
 
 * every worker thread lazily gets its **own** engine clone
-  (:meth:`FLATIndex.with_store <repro.core.flat_index.FLATIndex.with_store>`)
-  over a stat-isolated :meth:`~repro.storage.pagestore.PageStore.view`
-  of the shared store, so buffer pools, decoded-page caches, per-query
-  crawl scratch and :class:`~repro.storage.stats.IOStats` are all
-  thread-private while the page bytes (e.g. one read-only ``mmap``)
-  are shared;
-* :meth:`QueryService.run` executes a query batch through the thread
-  pool and aggregates the per-worker counters into one
-  :class:`ServiceReport`, with results in request order.
+  (:meth:`FLATIndex.with_store <repro.core.flat_index.FLATIndex.with_store>`
+  for a monolithic index, :meth:`ShardedFLATIndex.with_views
+  <repro.core.sharded.ShardedFLATIndex.with_views>` for a sharded one)
+  over stat-isolated :meth:`~repro.storage.pagestore.PageStore.view`
+  stores, so buffer pools, decoded-page caches, per-query crawl scratch
+  and :class:`~repro.storage.stats.IOStats` are all thread-private
+  while the page bytes (e.g. one read-only ``mmap``) are shared;
+* for a **sharded** index, :meth:`QueryService.run` executes
+  scatter–gather: the planner prunes shards per query, one pool task is
+  submitted per *touched* shard (so one slow shard never serializes the
+  others), and the per-shard sorted ids merge in request order —
+  :attr:`ServiceReport.shard_tasks` / :attr:`ServiceReport.shards_pruned`
+  record the scatter;
+* per-worker counters aggregate into one :class:`ServiceReport`; in the
+  cold-cache regime the totals reproduce the single-threaded harness
+  exactly, shard pruning included.
 
 Works with any engine exposing ``range_query`` plus ``store`` and
-``with_store`` (FLAT today); the page payloads are immutable, so
-concurrent reads need no locking anywhere in the storage layer.
+``with_store`` (or ``shards``/``planner``/``with_views`` for the
+sharded layout); the page payloads are immutable, so concurrent reads
+need no locking anywhere in the storage layer.
 """
 
 from __future__ import annotations
@@ -31,6 +39,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.query.planner import QueryPlanner
 from repro.storage.stats import IOStats
 
 
@@ -50,6 +59,12 @@ class ServiceReport:
     cache_hits: int = 0
     #: Worker threads that actually served at least one query.
     workers_used: int = 0
+    #: Shard executions dispatched (sharded indexes; one per touched
+    #: shard per query — individual pool tasks for range batches,
+    #: in-task MINDIST-walk visits for kNN batches).
+    shard_tasks: int = 0
+    #: Shard executions skipped by planner pruning, summed over queries.
+    shards_pruned: int = 0
     per_query_results: list = field(default_factory=list)
 
     @property
@@ -64,23 +79,55 @@ class ServiceReport:
         return self.query_count / self.wall_seconds
 
 
+class GatherFuture:
+    """Joins the per-shard futures of one scattered query.
+
+    Quacks enough like :class:`concurrent.futures.Future` for callers
+    of :meth:`QueryService.submit`: ``result()`` blocks until every
+    shard task finished and returns the merged sorted ids.
+    """
+
+    def __init__(self, futures, merge):
+        self._futures = futures
+        self._merge = merge
+
+    def result(self, timeout=None):
+        # One overall deadline across all shard futures, so the Future
+        # timeout contract holds regardless of the shard count.
+        deadline = None if timeout is None else time.monotonic() + timeout
+        parts = []
+        for future in self._futures:
+            remaining = None if deadline is None else deadline - time.monotonic()
+            parts.append(future.result(remaining))
+        return self._merge(parts)
+
+    def done(self) -> bool:
+        return all(future.done() for future in self._futures)
+
+    def cancel(self) -> bool:
+        return all([future.cancel() for future in self._futures])
+
+
 class QueryService:
-    """Serve range queries from a thread pool over one shared index.
+    """Serve queries from a thread pool over one shared index.
 
     Parameters
     ----------
     index:
-        A built (or restored) index exposing ``range_query``, ``store``
-        and ``with_store`` — typically a
-        :class:`~repro.core.flat_index.FLATIndex` reopened from a
-        snapshot over the mmap-backed file store.
+        A built (or restored) index.  Monolithic engines expose
+        ``range_query``, ``store`` and ``with_store`` (e.g.
+        :class:`~repro.core.flat_index.FLATIndex`); sharded engines
+        expose ``shards``, ``planner`` and ``with_views``
+        (:class:`~repro.core.sharded.ShardedFLATIndex`) and are served
+        scatter–gather.
     workers:
-        Thread-pool size; each thread serves from its own store view.
+        Thread-pool size; each thread serves from its own store view(s).
     clear_cache_per_query:
         ``True`` (default) reproduces the paper's cold-cache regime —
-        each worker drops its buffer and decoded-page cache before
-        every query.  ``False`` serves warm: caches accumulate across
-        queries within each worker.
+        each worker drops the relevant buffer and decoded-page cache
+        before every query (per touched shard, for sharded indexes).
+        ``False`` serves warm: caches accumulate across queries within
+        each worker.
     """
 
     def __init__(self, index, workers: int = 4, clear_cache_per_query: bool = True):
@@ -89,9 +136,11 @@ class QueryService:
         self._index = index
         self.worker_count = workers
         self.clear_cache_per_query = clear_cache_per_query
+        self._sharded = hasattr(index, "shards") and hasattr(index, "with_views")
         self._local = threading.local()
         self._worker_states: list = []
         self._states_lock = threading.Lock()
+        self._lifecycle_lock = threading.Lock()
         self._pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="query-worker"
         )
@@ -100,11 +149,21 @@ class QueryService:
     # -- worker state ---------------------------------------------------
 
     def _worker(self):
-        """This thread's (engine, store) pair, created on first use."""
+        """This thread's (engine, store) pair, created on first use.
+
+        For a sharded index the engine is a full per-worker clone with
+        one view per shard, and the store is the clone's
+        :class:`~repro.storage.pagestore.PageStoreGroup` facade — so the
+        batch-level stat aggregation is identical in both modes.
+        """
         state = getattr(self._local, "state", None)
         if state is None:
-            store = self._index.store.view()
-            state = (self._index.with_store(store), store)
+            if self._sharded:
+                clone = self._index.with_views()
+                state = (clone, clone.store)
+            else:
+                store = self._index.store.view()
+                state = (self._index.with_store(store), store)
             self._local.state = state
             with self._states_lock:
                 self._worker_states.append(state)
@@ -116,24 +175,61 @@ class QueryService:
             store.clear_cache()
         return engine.range_query(query)
 
+    def _execute_shard(self, shard_id: int, query: np.ndarray) -> np.ndarray:
+        """One scatter task: crawl a single shard on this worker's view."""
+        engine, _store = self._worker()
+        shard = engine.shards[shard_id]
+        if self.clear_cache_per_query:
+            shard.store.clear_cache()
+        local = shard.index.range_query(query)
+        return shard.to_global(local) if local.size else local
+
+    def _execute_knn(self, point: np.ndarray, k: int) -> tuple:
+        """One kNN task; also returns the clone's plan (sharded engines)."""
+        engine, store = self._worker()
+        if self.clear_cache_per_query:
+            store.clear_cache()
+        hits = engine.knn_query(point, k)
+        return hits, getattr(engine, "last_plan", None)
+
+    #: Per-shard sorted ids merge exactly: shards partition the elements.
+    _merge_shard_parts = staticmethod(QueryPlanner.merge_sorted_ids)
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError(
+                "QueryService is closed; create a new service to submit queries"
+            )
+
     # -- serving --------------------------------------------------------
 
     def submit(self, query):
-        """Enqueue one range query; returns a :class:`~concurrent.futures.Future`."""
-        if self._closed:
-            raise RuntimeError("service is closed")
+        """Enqueue one range query; returns a future.
+
+        Monolithic indexes get one pool task per query; sharded indexes
+        get one task per planner-selected shard joined by a
+        :class:`GatherFuture`.
+        """
+        self._check_open()
         query = np.asarray(query, dtype=np.float64)
-        return self._pool.submit(self._execute, query)
+        if not self._sharded:
+            return self._pool.submit(self._execute, query)
+        shard_ids = self._index.planner.shards_for_box(query)
+        futures = [
+            self._pool.submit(self._execute_shard, int(sid), query)
+            for sid in shard_ids
+        ]
+        return GatherFuture(futures, self._merge_shard_parts)
 
     def run(self, queries, index_name: str = "") -> ServiceReport:
         """Serve a whole batch; results aggregate into the report.
 
-        Queries are dispatched to the pool all at once and collected in
+        Queries are dispatched to the pool all at once (every per-shard
+        task of every query, for sharded indexes) and collected in
         request order; the report's counters are the exact difference
         each worker's :class:`IOStats` accumulated during this batch.
         """
-        if self._closed:
-            raise RuntimeError("service is closed")
+        self._check_open()
         queries = np.asarray(queries, dtype=np.float64)
         if queries.ndim != 2 or queries.shape[1] != 6:
             raise ValueError(f"expected (N, 6) query boxes, got {queries.shape}")
@@ -141,21 +237,87 @@ class QueryService:
             index_name=index_name or type(self._index).__name__,
             worker_count=self.worker_count,
         )
-        with self._states_lock:
-            before = {
-                id(store): store.stats.snapshot()
-                for _engine, store in self._worker_states
-            }
+        before = self._snapshot_worker_stats()
 
         t0 = time.perf_counter()
-        futures = [self._pool.submit(self._execute, query) for query in queries]
-        results = [future.result() for future in futures]
+        if self._sharded:
+            results = self._run_scatter_gather(queries, report)
+        else:
+            futures = [self._pool.submit(self._execute, query) for query in queries]
+            results = [future.result() for future in futures]
         report.wall_seconds = time.perf_counter() - t0
 
         report.query_count = len(results)
         report.per_query_results = [len(hits) for hits in results]
         report.result_elements = sum(report.per_query_results)
+        self._aggregate_batch_stats(report, before)
+        return report
 
+    def run_knn(self, points, k: int, index_name: str = "") -> ServiceReport:
+        """Serve a kNN batch: one pool task per query point.
+
+        Sharded clones prune and order shards internally per point, so
+        the scatter here stays at query granularity.
+        """
+        self._check_open()
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2 or points.shape[1] != 3:
+            raise ValueError(f"expected (N, 3) points, got {points.shape}")
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        report = ServiceReport(
+            index_name=index_name or type(self._index).__name__,
+            worker_count=self.worker_count,
+        )
+        before = self._snapshot_worker_stats()
+
+        t0 = time.perf_counter()
+        futures = [self._pool.submit(self._execute_knn, p, k) for p in points]
+        results = []
+        for future in futures:
+            hits, plan = future.result()
+            results.append(hits)
+            if plan is not None:
+                report.shard_tasks += len(plan.shards_selected)
+                report.shards_pruned += plan.shards_pruned
+        report.wall_seconds = time.perf_counter() - t0
+
+        report.query_count = len(results)
+        report.per_query_results = [len(hits) for hits in results]
+        report.result_elements = sum(report.per_query_results)
+        self._aggregate_batch_stats(report, before)
+        return report
+
+    def _run_scatter_gather(self, queries, report: ServiceReport) -> list:
+        """Dispatch one task per (query, touched shard); gather in order."""
+        planner = self._index.planner
+        shard_count = len(self._index.shards)
+        scattered = []
+        for query in queries:
+            shard_ids = planner.shards_for_box(query)
+            report.shard_tasks += len(shard_ids)
+            report.shards_pruned += shard_count - len(shard_ids)
+            scattered.append(
+                [
+                    self._pool.submit(self._execute_shard, int(sid), query)
+                    for sid in shard_ids
+                ]
+            )
+        return [
+            self._merge_shard_parts([future.result() for future in futures])
+            for futures in scattered
+        ]
+
+    # -- accounting -----------------------------------------------------
+
+    def _snapshot_worker_stats(self) -> dict:
+        with self._states_lock:
+            return {
+                id(store): store.stats.snapshot()
+                for _engine, store in self._worker_states
+            }
+
+    def _aggregate_batch_stats(self, report: ServiceReport, before: dict) -> None:
         delta = IOStats()
         with self._states_lock:
             states = list(self._worker_states)
@@ -168,7 +330,6 @@ class QueryService:
         report.reads_by_category = dict(delta.reads)
         report.decodes_by_kind = dict(delta.decode_misses)
         report.cache_hits = delta.cache_hits
-        return report
 
     # -- introspection --------------------------------------------------
 
@@ -187,13 +348,25 @@ class QueryService:
         with self._states_lock:
             return len(self._worker_states)
 
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
     # -- lifecycle ------------------------------------------------------
 
     def close(self) -> None:
-        """Shut the thread pool down (idempotent)."""
-        if not self._closed:
+        """Shut the thread pool down.
+
+        Idempotent and safe to call from several threads: *every*
+        caller returns only once the pool has shut down and all
+        in-flight queries finished (``ThreadPoolExecutor.shutdown`` is
+        itself idempotent, so later callers simply join the same
+        shutdown).  ``submit``/``run`` after close raise
+        :class:`RuntimeError` instead of queueing onto a dead pool.
+        """
+        with self._lifecycle_lock:
             self._closed = True
-            self._pool.shutdown(wait=True)
+        self._pool.shutdown(wait=True)
 
     def __enter__(self) -> "QueryService":
         return self

@@ -9,12 +9,14 @@ what every figure of the paper measures.
 
 from __future__ import annotations
 
+import heapq
+import itertools
 from collections import deque
 
 import numpy as np
 
 from repro.geometry.intersect import boxes_intersect_box, boxes_intersect_point
-from repro.geometry.mbr import mbr_union_many, validate_mbrs
+from repro.geometry.mbr import mbr_distance_to_point, mbr_union_many, validate_mbrs
 from repro.storage.constants import NODE_FANOUT, OBJECT_PAGE_CAPACITY
 from repro.storage.pagestore import PageStore
 from repro.storage.serial import (
@@ -124,6 +126,58 @@ class RTree:
         if not results:
             return np.empty(0, dtype=np.int64)
         return np.sort(np.concatenate(results))
+
+    def knn_query(
+        self, point: np.ndarray, k: int, return_distances: bool = False
+    ) -> np.ndarray:
+        """The *k* elements nearest to *point*: classic best-first search.
+
+        A priority queue ordered by MINDIST (distance from the point to
+        a box) holds tree nodes, leaf pages and individual elements; a
+        page is read only when its distance reaches the head of the
+        queue, so the search provably reads the fewest pages any
+        MBR-based algorithm can.  At equal distance, pages order before
+        elements (an unexpanded page could still hide an equally-near
+        element) and elements order by id — making ties deterministic
+        and identical to the brute-force baseline's ``(distance, id)``
+        order.
+        """
+        point = np.asarray(point, dtype=np.float64).reshape(3)
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        #: Heap entries: (distance, kind, tiebreak, payload); kind 0 =
+        #: page (payload: (page_id, level)), kind 1 = element (tiebreak
+        #: is the element id itself, so equal-distance elements pop in
+        #: id order).
+        counter = itertools.count()
+        heap = [(0.0, 0, next(counter), (self.root_id, self.height))]
+        out_ids: list = []
+        out_dists: list = []
+        while heap and len(out_ids) < k:
+            dist, kind, tiebreak, payload = heapq.heappop(heap)
+            if kind == 1:
+                out_ids.append(tiebreak)
+                out_dists.append(dist)
+                continue
+            page_id, level = payload
+            if level == 0:
+                mbrs = self.store.read_elements(page_id)
+                dists = mbr_distance_to_point(mbrs, point)
+                for d, eid in zip(dists, self.leaf_element_ids[page_id]):
+                    heapq.heappush(heap, (float(d), 1, int(eid), None))
+            else:
+                child_ids, child_mbrs, _leaf = decode_node_page(
+                    self.store.read(page_id)
+                )
+                dists = mbr_distance_to_point(child_mbrs, point)
+                for d, cid in zip(dists, child_ids):
+                    heapq.heappush(
+                        heap, (float(d), 0, next(counter), (int(cid), level - 1))
+                    )
+        ids = np.asarray(out_ids, dtype=np.int64)
+        if return_distances:
+            return ids, np.asarray(out_dists, dtype=np.float64)
+        return ids
 
     def first_hit(self, query: np.ndarray):
         """Depth-first search for *one* leaf page holding a matching element.

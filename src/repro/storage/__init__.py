@@ -49,7 +49,12 @@ from repro.storage.decoded_cache import (
     DecodedPageCache,
 )
 from repro.storage.diskmodel import DiskModel
-from repro.storage.pagestore import MemoryPageBackend, PageStore, PageStoreError
+from repro.storage.pagestore import (
+    MemoryPageBackend,
+    PageStore,
+    PageStoreError,
+    PageStoreGroup,
+)
 from repro.storage.filestore import (
     FilePageBackend,
     FilePageStore,
@@ -78,5 +83,6 @@ __all__ = [
     "PAGE_SIZE",
     "PageStore",
     "PageStoreError",
+    "PageStoreGroup",
     "write_store_snapshot",
 ]

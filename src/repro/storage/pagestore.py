@@ -62,6 +62,57 @@ class MemoryPageBackend:
         return len(self._pages)
 
 
+class PageStoreGroup:
+    """A read-side facade over several stores (one per index shard).
+
+    A sharded index keeps one :class:`PageStore` per shard so that page
+    ids, caches and I/O counters stay shard-local.  Harnesses, however,
+    speak to *one* store (``clear_cache`` before a query, ``stats``
+    snapshot/diff around it) — this facade lets them drive the whole
+    shard set unchanged: :attr:`stats` merges every member's counters
+    into one fresh :class:`IOStats` (whose ``snapshot``/``diff`` then
+    work as usual), and cache clearing fans out to all members.  Shards
+    a query planner prunes simply contribute zero deltas.
+    """
+
+    def __init__(self, stores):
+        self.stores = list(stores)
+        if not self.stores:
+            raise PageStoreError("a store group needs at least one store")
+
+    @property
+    def stats(self) -> IOStats:
+        """Member counters merged into one fresh :class:`IOStats`."""
+        merged = IOStats()
+        for store in self.stores:
+            merged.merge(store.stats)
+        return merged
+
+    def clear_cache(self) -> None:
+        for store in self.stores:
+            store.clear_cache()
+
+    def close(self) -> None:
+        """Close every member store that supports closing."""
+        for store in self.stores:
+            close = getattr(store, "close", None)
+            if close is not None:
+                close()
+
+    def __len__(self) -> int:
+        return sum(len(store) for store in self.stores)
+
+    def pages_in(self, *categories: str) -> int:
+        return sum(store.pages_in(*categories) for store in self.stores)
+
+    def bytes_in(self, *categories: str) -> int:
+        return sum(store.bytes_in(*categories) for store in self.stores)
+
+    @property
+    def size_bytes(self) -> int:
+        return sum(store.size_bytes for store in self.stores)
+
+
 class PageStore:
     """Append-only page store with category-tagged I/O accounting.
 

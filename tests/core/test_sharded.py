@@ -1,0 +1,224 @@
+"""Sharded FLAT: differential pins against the monolithic index.
+
+The acceptance bar of the sharding layer: for every query in the SN
+and LSS workloads, :class:`ShardedFLATIndex` (any shard count) returns
+exactly the element ids of the monolithic :class:`FLATIndex`, and a
+snapshotted + restored shard set returns byte-identical results *and*
+page-read counts on the Fig. 13 SN workload (mirroring the monolithic
+pin of PR 2).
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import FLATIndex, ShardedFLATIndex
+from repro.core.sharded import SHARD_ARRAYS_FILENAME, SHARD_META_FILENAME
+from repro.data.microcircuit import build_microcircuit
+from repro.geometry import boxes_intersect_box, mbr_contains_mbr
+from repro.query import (
+    BenchmarkSpec,
+    SCALED_LSS_FRACTION,
+    SCALED_SN_FRACTION,
+    run_point_queries,
+    run_queries,
+)
+from repro.storage import PageStore, PageStoreError, PageStoreGroup
+
+
+def random_mbrs(n, seed=0, span=100.0, extent=2.0):
+    rng = np.random.default_rng(seed)
+    lo = rng.uniform(0, span, size=(n, 3))
+    return np.concatenate([lo, lo + rng.uniform(0.01, extent, size=(n, 3))], axis=1)
+
+
+@pytest.fixture(scope="module")
+def sn_lss_setup():
+    """Monolithic FLAT plus the SN and LSS workloads on a microcircuit."""
+    circuit = build_microcircuit(6000, side=15.0, seed=3)
+    mbrs = circuit.mbrs()
+    store = PageStore()
+    flat = FLATIndex.build(store, mbrs, space_mbr=circuit.space_mbr)
+    sn = BenchmarkSpec("SN", SCALED_SN_FRACTION, 30).queries(
+        circuit.space_mbr, seed=11
+    )
+    lss = BenchmarkSpec("LSS", SCALED_LSS_FRACTION, 15).queries(
+        circuit.space_mbr, seed=12
+    )
+    return circuit, mbrs, flat, store, sn, lss
+
+
+class TestDifferentialPin:
+    @pytest.mark.parametrize("shard_count", [1, 2, 4, 9])
+    def test_sn_and_lss_results_identical(self, sn_lss_setup, shard_count):
+        circuit, mbrs, flat, _store, sn, lss = sn_lss_setup
+        sharded = ShardedFLATIndex.build(
+            mbrs, shard_count, space_mbr=circuit.space_mbr
+        )
+        for query in np.concatenate([sn, lss]):
+            expected = flat.range_query(query)
+            got = sharded.range_query(query)
+            assert got.dtype == expected.dtype
+            assert np.array_equal(got, expected)
+
+    def test_point_queries_identical(self, sn_lss_setup):
+        circuit, mbrs, flat, _store, *_ = sn_lss_setup
+        sharded = ShardedFLATIndex.build(mbrs, 4, space_mbr=circuit.space_mbr)
+        rng = np.random.default_rng(9)
+        for point in rng.uniform(circuit.space_mbr[:3], circuit.space_mbr[3:], (20, 3)):
+            assert np.array_equal(
+                sharded.point_query(point), flat.point_query(point)
+            )
+
+    def test_results_match_brute_force(self, sn_lss_setup):
+        circuit, mbrs, _flat, _store, sn, _lss = sn_lss_setup
+        sharded = ShardedFLATIndex.build(mbrs, 4, space_mbr=circuit.space_mbr)
+        for query in sn[:10]:
+            expected = np.flatnonzero(boxes_intersect_box(mbrs, query))
+            assert np.array_equal(sharded.range_query(query), expected)
+
+
+class TestShardStructure:
+    def test_shards_partition_the_elements(self):
+        mbrs = random_mbrs(3000, seed=1)
+        sharded = ShardedFLATIndex.build(mbrs, 5)
+        all_ids = np.sort(
+            np.concatenate([shard.element_ids for shard in sharded.shards])
+        )
+        assert np.array_equal(all_ids, np.arange(len(mbrs)))
+        assert sum(sharded.shard_element_counts()) == len(mbrs)
+
+    def test_shard_boxes_enclose_their_elements(self):
+        mbrs = random_mbrs(2000, seed=2)
+        sharded = ShardedFLATIndex.build(mbrs, 4)
+        for shard in sharded.shards:
+            assert np.all(mbr_contains_mbr(shard.mbr, mbrs[shard.element_ids]))
+
+    def test_element_ids_sorted_per_shard(self):
+        # Sorted ids keep local (distance, id) tie-breaks equal to
+        # global ones — the kNN merge relies on it.
+        sharded = ShardedFLATIndex.build(random_mbrs(1500, seed=3), 4)
+        for shard in sharded.shards:
+            assert np.all(np.diff(shard.element_ids) > 0)
+
+    def test_store_facade_covers_all_shards(self):
+        sharded = ShardedFLATIndex.build(random_mbrs(1200, seed=4), 3)
+        assert isinstance(sharded.store, PageStoreGroup)
+        assert len(sharded.store) == sum(len(s.store) for s in sharded.shards)
+
+    def test_plan_recorded_per_query(self):
+        sharded = ShardedFLATIndex.build(random_mbrs(2000, seed=5), 8)
+        sharded.range_query(np.array([1.0, 1, 1, 3, 3, 3]))
+        plan = sharded.last_plan
+        assert plan.shard_count == sharded.shard_count
+        assert 1 <= len(plan.shards_selected) < sharded.shard_count
+        assert plan.shards_pruned == plan.shard_count - len(plan.shards_selected)
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(ValueError):
+            ShardedFLATIndex.build(random_mbrs(100), 0)
+
+
+class TestPrunedAccounting:
+    def test_small_queries_touch_few_shards(self, sn_lss_setup):
+        circuit, mbrs, flat, store, sn, _lss = sn_lss_setup
+        sharded = ShardedFLATIndex.build(mbrs, 8, space_mbr=circuit.space_mbr)
+        run = run_queries(sharded, sharded.store, sn, "sharded")
+        mono = run_queries(flat, store, sn, "mono")
+        assert run.per_query_results == mono.per_query_results
+        assert run.per_query_shards  # planner-aware harness collected plans
+        assert run.mean_shards_touched < sharded.shard_count
+        # Pruned shards read nothing: the sharded crawl never reads more
+        # object pages than the monolithic one on SN boxes.
+        assert run.total_page_reads <= mono.total_page_reads * 1.5
+
+    def test_point_harness_collects_plans(self, sn_lss_setup):
+        circuit, mbrs, _flat, _store, *_ = sn_lss_setup
+        sharded = ShardedFLATIndex.build(mbrs, 4, space_mbr=circuit.space_mbr)
+        rng = np.random.default_rng(13)
+        points = rng.uniform(circuit.space_mbr[:3], circuit.space_mbr[3:], (8, 3))
+        run = run_point_queries(sharded, sharded.store, points, "sharded")
+        assert len(run.per_query_shards) == len(points)
+
+
+@pytest.fixture(scope="module")
+def sharded_round_trip(sn_lss_setup, tmp_path_factory):
+    """Built + restored shard set on the Fig. 13 SN workload."""
+    circuit, mbrs, _flat, _store, sn, _lss = sn_lss_setup
+    sharded = ShardedFLATIndex.build(mbrs, 4, space_mbr=circuit.space_mbr)
+    directory = tmp_path_factory.mktemp("shard-snapshots") / "sn"
+    sharded.snapshot(directory)
+    restored = ShardedFLATIndex.restore(directory)
+    yield sharded, restored, sn, directory
+    restored.close()
+
+
+class TestSnapshotRestoreEquivalence:
+    def test_byte_identical_results(self, sharded_round_trip):
+        sharded, restored, sn, _ = sharded_round_trip
+        for query in sn:
+            sharded.store.clear_cache()
+            restored.store.clear_cache()
+            expected = sharded.range_query(query)
+            got = restored.range_query(query)
+            assert got.dtype == expected.dtype
+            assert np.array_equal(got, expected)
+
+    def test_identical_page_read_counts(self, sharded_round_trip):
+        sharded, restored, sn, _ = sharded_round_trip
+        built = run_queries(sharded, sharded.store, sn, "built")
+        reopened = run_queries(restored, restored.store, sn, "restored")
+        assert reopened.per_query_results == built.per_query_results
+        assert reopened.per_query_reads == built.per_query_reads
+        assert reopened.reads_by_category == built.reads_by_category
+        assert reopened.decodes_by_kind == built.decodes_by_kind
+        assert reopened.per_query_shards == built.per_query_shards
+
+    def test_restored_knn_identical(self, sharded_round_trip):
+        sharded, restored, _sn, _ = sharded_round_trip
+        rng = np.random.default_rng(21)
+        for point in rng.uniform(0, 15, size=(10, 3)):
+            assert np.array_equal(
+                restored.knn_query(point, 7), sharded.knn_query(point, 7)
+            )
+
+    def test_manifest_and_shard_dirs(self, sharded_round_trip):
+        sharded, restored, _sn, directory = sharded_round_trip
+        meta = json.loads((directory / SHARD_META_FILENAME).read_text())
+        assert meta["index"] == "ShardedFLAT"
+        assert meta["shard_count"] == sharded.shard_count
+        assert (directory / SHARD_ARRAYS_FILENAME).exists()
+        for shard in sharded.shards:
+            assert (directory / f"shard-{shard.shard_id:04d}" / "pages.dat").exists()
+        assert restored.shard_count == sharded.shard_count
+        for original, reopened in zip(sharded.shards, restored.shards):
+            assert np.array_equal(original.element_ids, reopened.element_ids)
+            assert np.array_equal(original.mbr, reopened.mbr)
+
+    def test_restore_missing_directory(self, tmp_path):
+        with pytest.raises(PageStoreError):
+            ShardedFLATIndex.restore(tmp_path / "missing")
+
+    def test_restore_bad_format_version(self, tmp_path):
+        sharded = ShardedFLATIndex.build(random_mbrs(300, seed=6), 2)
+        sharded.snapshot(tmp_path / "snap")
+        meta_path = tmp_path / "snap" / SHARD_META_FILENAME
+        meta = json.loads(meta_path.read_text())
+        meta["format_version"] = 999
+        meta_path.write_text(json.dumps(meta))
+        with pytest.raises(PageStoreError):
+            ShardedFLATIndex.restore(tmp_path / "snap")
+
+
+class TestWithViews:
+    def test_views_match_and_isolate_stats(self):
+        mbrs = random_mbrs(2000, seed=7)
+        sharded = ShardedFLATIndex.build(mbrs, 4)
+        clone = sharded.with_views()
+        before = sharded.store.stats.snapshot()
+        query = np.array([10.0, 10, 10, 40, 40, 40])
+        expected = np.flatnonzero(boxes_intersect_box(mbrs, query))
+        assert np.array_equal(clone.range_query(query), expected)
+        assert clone.store.stats.total_reads > 0
+        assert sharded.store.stats.diff(before).total_reads == 0

@@ -3,7 +3,7 @@
 import numpy as np
 
 from repro.baselines.dls import ConnectivityCrawler, chain_adjacency
-from repro.core import FLATIndex
+from repro.core import FLATIndex, ShardedFLATIndex
 from repro.query import CallableEngine, QueryEngine, random_range_queries, run_queries
 from repro.rtree import bulkload_rtree
 from repro.storage import DECODE_ELEMENT, DECODE_METADATA, PageStore
@@ -23,8 +23,12 @@ class TestProtocolConformance:
         flat = FLATIndex.build(PageStore(), mbrs)
         rtree = bulkload_rtree(PageStore(), mbrs, "str")
         dls = ConnectivityCrawler(mbrs, chain_adjacency(len(mbrs), 10))
-        for engine in (flat, rtree, dls, CallableEngine(flat.range_query_scalar)):
+        sharded = ShardedFLATIndex.build(mbrs, 2)
+        engines = (flat, rtree, dls, sharded, CallableEngine(flat.range_query_scalar))
+        for engine in engines:
             assert isinstance(engine, QueryEngine)
+            # The protocol now includes the kNN surface.
+            assert callable(engine.knn_query)
 
     def test_engines_agree_on_results(self):
         mbrs = random_mbrs(1500, seed=1)

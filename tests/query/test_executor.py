@@ -113,6 +113,41 @@ class TestRunPointQueries:
         expected = sum(boxes_intersect_point(mbrs, p).sum() for p in points)
         assert run.result_elements == expected
 
+    def test_drives_the_engines_point_query(self, flat_setup):
+        # The harness must call point_query itself (not convert to
+        # degenerate boxes), so engines with specialized point paths
+        # get their own accounting.
+        store, _mbrs, index = flat_setup
+
+        class SpyEngine:
+            def __init__(self, inner):
+                self.inner = inner
+                self.point_calls = 0
+
+            def range_query(self, query):
+                raise AssertionError("harness must not fall back to range_query")
+
+            def point_query(self, point):
+                self.point_calls += 1
+                return self.inner.point_query(point)
+
+        spy = SpyEngine(index)
+        points = np.random.default_rng(9).uniform(0, 100, size=(6, 3))
+        run = run_point_queries(spy, store, points, "spy")
+        assert spy.point_calls == 6
+        assert run.query_count == 6
+        assert run.total_page_reads > 0
+
+    def test_point_cold_cache_accounting_matches_range(self, flat_setup):
+        store, _mbrs, index = flat_setup
+        from repro.geometry import point_as_box
+
+        points = np.random.default_rng(10).uniform(0, 100, size=(8, 3))
+        point_run = run_point_queries(index, store, points, "points")
+        box_run = run_queries(index, store, point_as_box(points), "boxes")
+        assert point_run.per_query_results == box_run.per_query_results
+        assert point_run.reads_by_category == box_run.reads_by_category
+
     def test_point_shape_validation(self, rtree_setup):
         store, _mbrs, tree = rtree_setup
         with pytest.raises(ValueError):

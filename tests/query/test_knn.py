@@ -1,0 +1,198 @@
+"""kNN across every engine, pinned to a brute-force baseline.
+
+``knn_query(point, k)`` must return the k elements with the smallest
+MBR distance to the point, ordered by ``(distance, id)`` — on FLAT
+(expanding-radius crawl), the bulkloaded R-Tree variants (best-first
+search), the sharded index (MINDIST-ordered shard walk) and the DLS
+baseline (expanding-radius connectivity crawl on connected data).
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.dls import ConnectivityCrawler
+from repro.core import FLATIndex, ShardedFLATIndex
+from repro.geometry import mbr_distance_to_point
+from repro.query import CallableEngine, run_knn_queries
+from repro.rtree import bulkload_rtree
+from repro.storage import CATEGORY_OBJECT, PageStore
+
+
+def random_mbrs(n, seed=0, span=100.0, extent=2.0):
+    rng = np.random.default_rng(seed)
+    lo = rng.uniform(0, span, size=(n, 3))
+    return np.concatenate([lo, lo + rng.uniform(0.01, extent, size=(n, 3))], axis=1)
+
+
+def brute_force_knn(mbrs, point, k):
+    dists = mbr_distance_to_point(mbrs, point)
+    order = np.lexsort((np.arange(len(mbrs)), dists))[:k]
+    return order, dists[order]
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    mbrs = random_mbrs(3000, seed=0)
+    rng = np.random.default_rng(1)
+    # Points inside, near the edge of, and outside the data space.
+    points = np.concatenate(
+        [
+            rng.uniform(0, 100, size=(12, 3)),
+            rng.uniform(-30, 130, size=(6, 3)),
+        ]
+    )
+    return mbrs, points
+
+
+class TestFlatKnn:
+    @pytest.mark.parametrize("k", [1, 5, 23])
+    def test_matches_brute_force(self, dataset, k):
+        mbrs, points = dataset
+        flat = FLATIndex.build(PageStore(), mbrs)
+        for point in points:
+            expected, expected_d = brute_force_knn(mbrs, point, k)
+            ids, dists = flat.knn_query(point, k, return_distances=True)
+            assert np.array_equal(ids, expected)
+            assert np.allclose(dists, expected_d)
+            assert flat.last_knn_rounds >= 1
+
+    def test_k_larger_than_dataset_returns_all(self):
+        mbrs = random_mbrs(120, seed=2)
+        flat = FLATIndex.build(PageStore(), mbrs)
+        ids = flat.knn_query(np.array([50.0, 50, 50]), 500)
+        assert len(ids) == len(mbrs)
+        assert np.array_equal(np.sort(ids), np.arange(len(mbrs)))
+
+    def test_invalid_k(self, dataset):
+        mbrs, _points = dataset
+        flat = FLATIndex.build(PageStore(), mbrs)
+        with pytest.raises(ValueError):
+            flat.knn_query(np.zeros(3), 0)
+
+    def test_crawl_stats_populated(self, dataset):
+        mbrs, points = dataset
+        store = PageStore()
+        flat = FLATIndex.build(store, mbrs)
+        store.clear_cache()
+        flat.knn_query(points[0], 8)
+        stats = flat.last_crawl_stats
+        assert stats.result_count == 8
+        assert stats.object_pages_read > 0
+
+    def test_far_point_converges(self, dataset):
+        mbrs, _points = dataset
+        flat = FLATIndex.build(PageStore(), mbrs)
+        point = np.array([5000.0, -5000.0, 5000.0])
+        expected, _ = brute_force_knn(mbrs, point, 3)
+        assert np.array_equal(flat.knn_query(point, 3), expected)
+
+
+class TestRTreeKnn:
+    @pytest.mark.parametrize("variant", ["str", "hilbert", "prtree"])
+    def test_matches_brute_force(self, dataset, variant):
+        mbrs, points = dataset
+        tree = bulkload_rtree(PageStore(), mbrs, variant)
+        for point in points:
+            expected, expected_d = brute_force_knn(mbrs, point, 9)
+            ids, dists = tree.knn_query(point, 9, return_distances=True)
+            assert np.array_equal(ids, expected)
+            assert np.allclose(dists, expected_d)
+
+    def test_best_first_reads_fewer_pages_than_full_scan(self, dataset):
+        mbrs, points = dataset
+        store = PageStore()
+        tree = bulkload_rtree(store, mbrs, "str")
+        store.clear_cache()
+        before = store.stats.snapshot()
+        tree.knn_query(points[0], 5)
+        delta = store.stats.diff(before)
+        assert 0 < delta.total_reads < tree.leaf_count()
+
+    def test_invalid_k(self, dataset):
+        mbrs, _points = dataset
+        tree = bulkload_rtree(PageStore(), mbrs, "str")
+        with pytest.raises(ValueError):
+            tree.knn_query(np.zeros(3), -1)
+
+
+class TestShardedKnn:
+    @pytest.mark.parametrize("shard_count", [1, 3, 8])
+    def test_matches_brute_force(self, dataset, shard_count):
+        mbrs, points = dataset
+        sharded = ShardedFLATIndex.build(mbrs, shard_count)
+        for point in points:
+            expected, expected_d = brute_force_knn(mbrs, point, 11)
+            ids, dists = sharded.knn_query(point, 11, return_distances=True)
+            assert np.array_equal(ids, expected)
+            assert np.allclose(dists, expected_d)
+
+    def test_distant_shards_pruned(self, dataset):
+        mbrs, _points = dataset
+        sharded = ShardedFLATIndex.build(mbrs, 8)
+        sharded.knn_query(np.array([1.0, 1.0, 1.0]), 3)
+        assert len(sharded.last_plan.shards_selected) < sharded.shard_count
+
+
+class TestDlsKnn:
+    def test_matches_brute_force_on_complete_adjacency(self):
+        # With complete adjacency every element intersecting a crawl box
+        # is reachable from the seed, so the expanding-radius kNN must
+        # equal brute force; sparse (concave) connectivity inherits
+        # range_query's documented under-reporting instead.
+        mbrs = random_mbrs(150, seed=4)
+        everyone = list(range(len(mbrs)))
+        adjacency = [[j for j in everyone if j != i] for i in everyone]
+        dls = ConnectivityCrawler(mbrs, adjacency)
+        for point in (np.array([50.0, 50, 50]), np.array([-20.0, 110, 4])):
+            expected, _ = brute_force_knn(mbrs, point, 5)
+            assert np.array_equal(dls.knn_query(point, 5), expected)
+
+
+class TestCallableEngineKnn:
+    def test_delegates_to_source(self, dataset):
+        mbrs, points = dataset
+        flat = FLATIndex.build(PageStore(), mbrs)
+        engine = CallableEngine(flat.range_query_scalar, flat)
+        assert np.array_equal(
+            engine.knn_query(points[0], 4), flat.knn_query(points[0], 4)
+        )
+
+    def test_raises_without_source(self):
+        engine = CallableEngine(lambda q: np.empty(0, dtype=np.int64))
+        with pytest.raises(NotImplementedError):
+            engine.knn_query(np.zeros(3), 3)
+
+
+class TestKnnHarness:
+    def test_cold_cache_accounting(self, dataset):
+        mbrs, points = dataset
+        store = PageStore()
+        flat = FLATIndex.build(store, mbrs)
+        run = run_knn_queries(flat, store, points, 6, "flat-knn")
+        assert run.query_count == len(points)
+        assert run.result_elements == 6 * len(points)
+        assert run.reads_by_category.get(CATEGORY_OBJECT, 0) > 0
+        assert len(run.bookkeeping_bytes) == len(points)
+
+    def test_engines_read_comparable_accounting(self, dataset):
+        mbrs, points = dataset
+        runs = {}
+        for name, build in {
+            "flat": lambda s: FLATIndex.build(s, mbrs),
+            "str": lambda s: bulkload_rtree(s, mbrs, "str"),
+        }.items():
+            store = PageStore()
+            engine = build(store)
+            runs[name] = run_knn_queries(engine, store, points, 6, name)
+        assert (
+            runs["flat"].per_query_results == runs["str"].per_query_results
+        )
+
+    def test_shape_and_k_validation(self, dataset):
+        mbrs, _points = dataset
+        store = PageStore()
+        flat = FLATIndex.build(store, mbrs)
+        with pytest.raises(ValueError):
+            run_knn_queries(flat, store, np.zeros((3, 6)), 5)
+        with pytest.raises(ValueError):
+            run_knn_queries(flat, store, np.zeros((3, 3)), 0)

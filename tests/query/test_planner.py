@@ -1,0 +1,79 @@
+"""Tests for the scatter–gather QueryPlanner."""
+
+import numpy as np
+import pytest
+
+from repro.query import QueryPlan, QueryPlanner
+
+#: A 2x2 grid of shard boxes on the xy-plane (z shared).
+GRID = np.array(
+    [
+        [0.0, 0, 0, 5, 5, 10],
+        [5.0, 0, 0, 10, 5, 10],
+        [0.0, 5, 0, 5, 10, 10],
+        [5.0, 5, 0, 10, 10, 10],
+    ]
+)
+
+
+class TestRouting:
+    def test_box_selects_only_intersecting_shards(self):
+        planner = QueryPlanner(GRID)
+        assert planner.shards_for_box(np.array([1.0, 1, 1, 2, 2, 2])).tolist() == [0]
+        assert planner.shards_for_box(
+            np.array([4.0, 1, 1, 6, 2, 2])
+        ).tolist() == [0, 1]
+        assert planner.shards_for_box(
+            np.array([-5.0, -5, -5, 20, 20, 20])
+        ).tolist() == [0, 1, 2, 3]
+
+    def test_disjoint_box_selects_nothing(self):
+        planner = QueryPlanner(GRID)
+        assert len(planner.shards_for_box(np.array([50.0, 50, 50, 60, 60, 60]))) == 0
+
+    def test_touching_boundary_counts_as_intersecting(self):
+        planner = QueryPlanner(GRID)
+        # The shared x=5 face belongs to both columns (closed intervals),
+        # matching the gap-free crawl semantics.
+        assert planner.shards_for_box(
+            np.array([5.0, 1, 1, 5.0, 2, 2])
+        ).tolist() == [0, 1]
+
+    def test_point_routing(self):
+        planner = QueryPlanner(GRID)
+        assert planner.shards_for_point(np.array([7.0, 7, 5])).tolist() == [3]
+        assert len(planner.shards_for_point(np.array([70.0, 7, 5]))) == 0
+
+    def test_shards_by_distance_orders_by_mindist(self):
+        planner = QueryPlanner(GRID)
+        order, dists = planner.shards_by_distance(np.array([1.0, 1, 5]))
+        assert order[0] == 0 and dists[0] == 0.0
+        assert np.all(np.diff(dists) >= 0)
+        assert sorted(order.tolist()) == [0, 1, 2, 3]
+
+    def test_distance_ties_break_by_shard_id(self):
+        planner = QueryPlanner(GRID)
+        # The grid center is distance 0 from every shard.
+        order, dists = planner.shards_by_distance(np.array([5.0, 5, 5]))
+        assert order.tolist() == [0, 1, 2, 3]
+        assert np.allclose(dists, 0.0)
+
+
+class TestMergeAndPlan:
+    def test_merge_sorted_ids(self):
+        parts = [np.array([3, 9]), np.empty(0, dtype=np.int64), np.array([1, 7])]
+        merged = QueryPlanner.merge_sorted_ids(parts)
+        assert merged.tolist() == [1, 3, 7, 9]
+        assert merged.dtype == np.int64
+
+    def test_merge_empty(self):
+        merged = QueryPlanner.merge_sorted_ids([])
+        assert merged.dtype == np.int64 and len(merged) == 0
+
+    def test_plan_pruned_count(self):
+        plan = QueryPlan(shard_count=8, shards_selected=[1, 4])
+        assert plan.shards_pruned == 6
+
+    def test_empty_planner_rejected(self):
+        with pytest.raises(ValueError):
+            QueryPlanner(np.empty((0, 6)))

@@ -1,13 +1,16 @@
-"""Tests for the concurrent QueryService."""
+"""Tests for the concurrent QueryService (monolithic and scatter–gather)."""
+
+import threading
 
 import numpy as np
 import pytest
 
-from repro.core import FLATIndex
+from repro.core import FLATIndex, ShardedFLATIndex
 from repro.query import (
     BenchmarkSpec,
     QueryService,
     SCALED_SN_FRACTION,
+    run_knn_queries,
     run_queries,
 )
 from repro.storage import PageStore
@@ -97,16 +100,139 @@ class TestWorkerIsolation:
         assert second.reads_by_category == serial.reads_by_category
 
 
+@pytest.fixture(scope="module")
+def sharded_setup():
+    rng = np.random.default_rng(2)
+    lo = rng.uniform(0, 100, size=(3000, 3))
+    mbrs = np.concatenate([lo, lo + rng.uniform(0.01, 2, size=(3000, 3))], axis=1)
+    sharded = ShardedFLATIndex.build(mbrs, 4)
+    space = np.array([0.0, 0, 0, 102, 102, 102])
+    queries = BenchmarkSpec("SN", SCALED_SN_FRACTION, 24).queries(space, seed=3)
+    serial = run_queries(sharded, sharded.store, queries, "serial")
+    return sharded, queries, serial
+
+
+class TestScatterGather:
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_results_match_planner_harness(self, sharded_setup, workers):
+        sharded, queries, serial = sharded_setup
+        with QueryService(sharded, workers=workers) as service:
+            report = service.run(queries, "served")
+        assert report.per_query_results == serial.per_query_results
+        assert report.result_elements == serial.result_elements
+
+    def test_cold_reads_match_planner_harness(self, sharded_setup):
+        sharded, queries, serial = sharded_setup
+        with QueryService(sharded, workers=4) as service:
+            report = service.run(queries)
+        assert report.reads_by_category == serial.reads_by_category
+        assert report.decodes_by_kind == serial.decodes_by_kind
+
+    def test_one_task_per_touched_shard(self, sharded_setup):
+        sharded, queries, serial = sharded_setup
+        with QueryService(sharded, workers=2) as service:
+            report = service.run(queries)
+        assert report.shard_tasks == sum(serial.per_query_shards)
+        assert report.shards_pruned == (
+            len(queries) * sharded.shard_count - report.shard_tasks
+        )
+        assert report.shards_pruned > 0
+
+    def test_submit_gathers_shards(self, sharded_setup):
+        sharded, queries, _serial = sharded_setup
+        with QueryService(sharded, workers=2) as service:
+            futures = [service.submit(q) for q in queries[:5]]
+            results = [f.result() for f in futures]
+        for query, got in zip(queries[:5], results):
+            assert np.array_equal(got, sharded.range_query(query))
+
+    def test_source_stores_untouched(self, sharded_setup):
+        sharded, queries, _serial = sharded_setup
+        before = sharded.store.stats.snapshot()
+        with QueryService(sharded, workers=2) as service:
+            service.run(queries)
+        assert sharded.store.stats.diff(before).total_reads == 0
+
+    def test_served_knn_matches_direct(self, sharded_setup):
+        sharded, _queries, _serial = sharded_setup
+        rng = np.random.default_rng(7)
+        points = rng.uniform(0, 100, size=(9, 3))
+        expected = [sharded.knn_query(p, 6) for p in points]
+        with QueryService(sharded, workers=3) as service:
+            report = service.run_knn(points, 6, "knn")
+        assert report.query_count == len(points)
+        assert report.per_query_results == [len(ids) for ids in expected]
+        knn_serial = run_knn_queries(sharded, sharded.store, points, 6)
+        assert report.reads_by_category == knn_serial.reads_by_category
+        # The MINDIST walk's pruning is reported, not just the range path's.
+        assert report.shard_tasks == sum(knn_serial.per_query_shards)
+        assert report.shards_pruned == (
+            len(points) * sharded.shard_count - report.shard_tasks
+        )
+        assert report.shards_pruned > 0
+
+    def test_gather_future_timeout_is_overall(self, sharded_setup):
+        sharded, queries, _serial = sharded_setup
+        with QueryService(sharded, workers=2) as service:
+            future = service.submit(queries[0])
+            # Generous overall deadline: must resolve well within it.
+            assert isinstance(future.result(timeout=30.0), np.ndarray)
+            assert future.done()
+
+
+class TestServedKnnMonolithic:
+    def test_served_knn_matches_harness(self, served_setup):
+        flat, store, _queries, _serial = served_setup
+        rng = np.random.default_rng(8)
+        points = rng.uniform(0, 100, size=(8, 3))
+        knn_serial = run_knn_queries(flat, store, points, 5)
+        with QueryService(flat, workers=2) as service:
+            report = service.run_knn(points, 5)
+        assert report.per_query_results == knn_serial.per_query_results
+        assert report.reads_by_category == knn_serial.reads_by_category
+
+    def test_run_knn_validation(self, served_setup):
+        flat, *_ = served_setup
+        with QueryService(flat, workers=1) as service:
+            with pytest.raises(ValueError):
+                service.run_knn(np.zeros((4, 6)), 5)
+            with pytest.raises(ValueError):
+                service.run_knn(np.zeros((4, 3)), 0)
+
+
 class TestServiceLifecycle:
     def test_closed_service_rejects_work(self, served_setup):
         flat, _store, queries, _serial = served_setup
         service = QueryService(flat, workers=1)
         service.close()
-        with pytest.raises(RuntimeError):
+        assert service.closed
+        with pytest.raises(RuntimeError, match="closed"):
             service.run(queries)
-        with pytest.raises(RuntimeError):
+        with pytest.raises(RuntimeError, match="closed"):
             service.submit(queries[0])
+        with pytest.raises(RuntimeError, match="closed"):
+            service.run_knn(queries[:, :3], 3)
         service.close()  # idempotent
+
+    def test_close_is_idempotent_and_thread_safe(self, served_setup):
+        flat, _store, queries, serial = served_setup
+        service = QueryService(flat, workers=2)
+        report = service.run(queries)
+        assert report.per_query_results == serial.per_query_results
+        threads = [threading.Thread(target=service.close) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        service.close()
+        assert service.closed
+
+    def test_close_waits_for_inflight_queries(self, served_setup):
+        flat, _store, queries, serial = served_setup
+        service = QueryService(flat, workers=2)
+        futures = [service.submit(q) for q in queries]
+        service.close()  # shutdown(wait=True): all futures completed
+        assert [len(f.result()) for f in futures] == serial.per_query_results
 
     def test_invalid_worker_count(self, served_setup):
         flat, *_ = served_setup
