@@ -1,0 +1,226 @@
+"""Micro-benchmark: query latency under snapshot-isolated update storms.
+
+Builds a sharded FLAT index over one microcircuit density step and
+serves the SN range workload through
+:class:`~repro.query.service.QueryService` in three phases:
+
+* **before** — steady-state serving, no writers;
+* **during** — an updater thread applies insert+delete batches through
+  :meth:`~repro.query.service.QueryService.apply_updates` (each commit
+  forks the current generation copy-on-write and atomically swaps it
+  in) while the query loop keeps serving;
+* **after** — steady-state serving on the final generation.
+
+Reported per phase: query throughput, mean latency and page reads per
+query; for the storm itself: update throughput (elements applied per
+second) and per-commit wall time.  The correctness gate re-checks a
+sample of the served queries against a brute-force scan of the final
+element set — served results must be exact after any number of commits.
+
+Run ``python benchmarks/bench_updates.py`` to print a summary and emit
+``BENCH_updates.json`` (the update-trajectory artifact tracked across
+PRs).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from bench_common import describe_workload, finish, workload_parser
+from repro.core import ShardedFLATIndex
+from repro.data.microcircuit import build_microcircuit
+from repro.geometry.intersect import boxes_intersect_box
+from repro.query import BenchmarkSpec, QueryService, SCALED_SN_FRACTION
+
+#: Default workload: the SN benchmark's fixed-volume boxes over a
+#: microcircuit, sized for stable numbers in a few seconds.
+N_ELEMENTS = 20_000
+VOLUME_SIDE = 15.0
+QUERY_COUNT = 60
+SEED = 13
+SHARD_COUNT = 4
+WORKERS = 4
+UPDATE_BATCHES = 8
+BATCH_INSERTS = 400
+BATCH_DELETES = 400
+
+
+def _phase_stats(name: str, reports: list) -> dict:
+    queries = sum(r.query_count for r in reports)
+    wall = sum(r.wall_seconds for r in reports)
+    reads = sum(r.total_page_reads for r in reports)
+    return {
+        "phase": name,
+        "query_count": queries,
+        "wall_seconds": wall,
+        "throughput_qps": queries / wall if wall > 0 else float("nan"),
+        "mean_latency_ms": 1000.0 * wall / queries if queries else float("nan"),
+        "page_reads_per_query": reads / queries if queries else float("nan"),
+    }
+
+
+def run_updates_bench(
+    n_elements: int = N_ELEMENTS,
+    volume_side: float = VOLUME_SIDE,
+    query_count: int = QUERY_COUNT,
+    seed: int = SEED,
+    shard_count: int = SHARD_COUNT,
+    workers: int = WORKERS,
+    update_batches: int = UPDATE_BATCHES,
+    batch_inserts: int = BATCH_INSERTS,
+    batch_deletes: int = BATCH_DELETES,
+) -> dict:
+    """Serve queries before/during/after an update storm; return the report."""
+    circuit = build_microcircuit(n_elements, side=volume_side, seed=seed)
+    mbrs = circuit.mbrs()
+    index = ShardedFLATIndex.build(
+        mbrs, shard_count=shard_count, space_mbr=circuit.space_mbr
+    )
+    spec = BenchmarkSpec("SN", SCALED_SN_FRACTION, query_count)
+    queries = spec.queries(circuit.space_mbr, seed=seed + 404)
+
+    live = {i: mbrs[i] for i in range(len(mbrs))}
+    rng = np.random.default_rng(seed + 1)
+    commits: list = []
+
+    def one_batch(service: QueryService) -> None:
+        lo = rng.uniform(circuit.space_mbr[:3], circuit.space_mbr[3:],
+                         size=(batch_inserts, 3))
+        inserts = np.concatenate(
+            [lo, lo + rng.uniform(0.01, 0.5, size=(batch_inserts, 3))], axis=1
+        )
+        deletable = np.fromiter(live, dtype=np.int64, count=len(live))
+        deletes = rng.choice(deletable, size=min(batch_deletes, len(deletable)),
+                             replace=False)
+        report = service.apply_updates(inserts=inserts, delete_ids=deletes)
+        for gid, mbr in zip(report.inserted_ids, inserts):
+            live[int(gid)] = mbr
+        for gid in deletes:
+            del live[int(gid)]
+        commits.append(report)
+
+    with QueryService(index, workers=workers) as service:
+        before = [service.run(queries, "before") for _ in range(2)]
+
+        storm_done = threading.Event()
+
+        def storm() -> None:
+            try:
+                for _ in range(update_batches):
+                    one_batch(service)
+            finally:
+                storm_done.set()
+
+        during: list = []
+        updater = threading.Thread(target=storm, name="updater")
+        updater.start()
+        while not storm_done.is_set():
+            during.append(service.run(queries, "during"))
+        updater.join()
+
+        after = [service.run(queries, "after") for _ in range(2)]
+        final_version = service.current_version
+
+        # Exactness gate: the served results on the final generation
+        # must match a brute-force scan of the tracked element set.
+        ids = np.fromiter(sorted(live), dtype=np.int64, count=len(live))
+        boxes = np.stack([live[int(i)] for i in ids])
+        exact = all(
+            np.array_equal(
+                service.submit(query).result(),
+                ids[boxes_intersect_box(boxes, query)],
+            )
+            for query in queries
+        )
+
+    updated = sum(c.update_count for c in commits)
+    commit_wall = sum(c.wall_seconds for c in commits)
+    phases = [
+        _phase_stats("before", before),
+        _phase_stats("during", during),
+        _phase_stats("after", after),
+    ]
+    return {
+        "benchmark": "updates",
+        "workload": {
+            "benchmark": "SN",
+            "n_elements": n_elements,
+            "volume_side": volume_side,
+            "volume_fraction": SCALED_SN_FRACTION,
+            "query_count": query_count,
+            "seed": seed,
+            "shard_count": shard_count,
+            "workers": workers,
+            "update_batches": update_batches,
+            "batch_inserts": batch_inserts,
+            "batch_deletes": batch_deletes,
+        },
+        "phases": phases,
+        "updates": {
+            "commits": len(commits),
+            "elements_applied": updated,
+            "throughput_eps": updated / commit_wall if commit_wall > 0 else 0.0,
+            "mean_commit_seconds": commit_wall / len(commits) if commits else 0.0,
+            "final_version": final_version,
+            "final_element_count": len(live),
+        },
+        "checks": {
+            "served_results_exact_after_storm": exact,
+            "all_commits_published": final_version == update_batches,
+            "update_throughput_positive": updated > 0 and commit_wall > 0,
+            "query_throughput_positive": all(
+                p["throughput_qps"] > 0 for p in phases
+            ),
+            "queries_served_during_storm": phases[1]["query_count"] > 0,
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = workload_parser(
+        __doc__.splitlines()[0],
+        elements=N_ELEMENTS,
+        side=VOLUME_SIDE,
+        queries=QUERY_COUNT,
+        seed=SEED,
+        out="BENCH_updates.json",
+    )
+    parser.add_argument("--shards", type=int, default=SHARD_COUNT)
+    parser.add_argument("--workers", type=int, default=WORKERS)
+    parser.add_argument("--update-batches", type=int, default=UPDATE_BATCHES)
+    parser.add_argument("--batch-inserts", type=int, default=BATCH_INSERTS)
+    parser.add_argument("--batch-deletes", type=int, default=BATCH_DELETES)
+    args = parser.parse_args(argv)
+    report = run_updates_bench(
+        args.elements,
+        args.side,
+        args.queries,
+        args.seed,
+        args.shards,
+        args.workers,
+        args.update_batches,
+        args.batch_inserts,
+        args.batch_deletes,
+    )
+
+    print(describe_workload(report))
+    for phase in report["phases"]:
+        print(
+            f"  {phase['phase']:6s}: {phase['throughput_qps']:8.1f} q/s, "
+            f"{phase['mean_latency_ms']:6.2f} ms/query, "
+            f"{phase['page_reads_per_query']:7.1f} page reads/query"
+        )
+    updates = report["updates"]
+    print(
+        f"  storm : {updates['throughput_eps']:8.1f} elements/s over "
+        f"{updates['commits']} commits "
+        f"({updates['mean_commit_seconds'] * 1000:.1f} ms/commit), "
+        f"final generation {updates['final_version']}"
+    )
+    return finish(report, args.out)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,8 +7,6 @@ partition order produces slab-shaped metadata pages and many more
 metadata-page reads per crawl than STR (cubic) grouping.
 """
 
-import numpy as np
-
 from repro.core import FLATIndex
 from repro.data import build_microcircuit
 from repro.query import run_queries, sn_benchmark

@@ -7,8 +7,6 @@ and grows the hierarchy overhead the R-Trees pay per query — which is
 exactly where FLAT's advantage comes from in the paper.
 """
 
-import numpy as np
-
 from repro.core import FLATIndex
 from repro.data import build_microcircuit
 from repro.query import run_queries, sn_benchmark

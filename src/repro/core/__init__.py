@@ -14,7 +14,7 @@ from repro.core.neighbors import compute_neighbors, neighbor_counts
 from repro.core.partition import Partition, compute_partitions, coverage_gaps_exist
 from repro.core.seed_index import RecordBatch, SeedIndex
 from repro.core.sharded import Shard, ShardedFLATIndex
-from repro.core.snapshot import restore_index, snapshot_index
+from repro.core.snapshot import restore_index, snapshot_generation, snapshot_index
 
 __all__ = [
     "BuildReport",
@@ -32,5 +32,6 @@ __all__ = [
     "neighbor_counts",
     "pack_records_into_pages",
     "restore_index",
+    "snapshot_generation",
     "snapshot_index",
 ]

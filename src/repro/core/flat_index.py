@@ -36,20 +36,41 @@ import numpy as np
 
 from repro.geometry.intersect import boxes_intersect_box
 from repro.geometry.mbr import (
+    mbr_center,
+    mbr_contains_mbr,
+    mbr_contains_point,
     mbr_distance_to_point,
+    mbr_union,
     mbr_union_many,
+    mbr_volume,
     point_as_box,
     validate_mbrs,
 )
 from repro.query.knn import expanding_radius_knn
-from repro.storage.constants import OBJECT_PAGE_CAPACITY
-from repro.storage.pagestore import PageStore
-from repro.storage.serial import encode_element_page
-from repro.storage.stats import CATEGORY_OBJECT
+from repro.storage.constants import (
+    NODE_FANOUT,
+    OBJECT_PAGE_CAPACITY,
+    PAGE_HEADER_BYTES,
+    PAGE_SIZE,
+)
+from repro.storage.pagestore import PageStore, PageStoreError
+from repro.storage.serial import (
+    decode_element_page,
+    encode_element_page,
+    encode_metadata_page,
+    metadata_record_bytes,
+)
+from repro.storage.stats import (
+    CATEGORY_METADATA,
+    CATEGORY_OBJECT,
+    CATEGORY_SEED_INTERNAL,
+)
 from repro.core.metadata import MetadataRecord
 from repro.core.neighbors import compute_neighbors, neighbor_counts
 from repro.core.partition import compute_partitions
 from repro.core.seed_index import SeedIndex
+from repro.rtree.rtree import pack_upper_levels
+from repro.rtree.str_bulk import str_groups
 
 
 @dataclass
@@ -69,6 +90,32 @@ class BuildReport:
             + self.finding_neighbors_seconds
             + self.packing_seconds
         )
+
+
+@dataclass
+class _MutableState:
+    """In-RAM maintenance directories of a mutable FLAT index.
+
+    Built lazily on the first :meth:`FLATIndex.insert` /
+    :meth:`FLATIndex.delete` from the serialized metadata records; the
+    write path keeps them in sync with the pages it rewrites.  Arrays
+    are indexed by record id (dead records keep their slot, flagged by
+    ``live``); ``space_mbr`` is the box the partition boxes tile
+    gap-free — the invariant the crawl's completeness proof rests on.
+    """
+
+    page_mbrs: np.ndarray         # (R, 6) per-record page MBRs.
+    partition_mbrs: np.ndarray    # (R, 6) per-record partition MBRs.
+    object_page_ids: np.ndarray   # (R,) object page of each record; -1 dead.
+    neighbors: list               # per-record sets of neighbor record ids.
+    live: np.ndarray              # (R,) bool.
+    element_page: dict            # element id -> object page id.
+    record_of_page: dict          # object page id -> record id.
+    space_mbr: np.ndarray         # (6,) box tiled by the partitions.
+    #: Seed-leaf page id -> cached union of its records' page MBRs (the
+    #: leaf's key in the tree).  Lets a flush detect that no key moved
+    #: and skip repacking the upper levels entirely.
+    leaf_mbrs: dict = field(default_factory=dict)
 
 
 @dataclass
@@ -119,12 +166,22 @@ class FLATIndex:
         object_page_element_ids: dict,
         element_count: int,
         build_report: BuildReport,
+        page_capacity: int = OBJECT_PAGE_CAPACITY,
+        next_id: int | None = None,
     ):
         self.store = store
         self.seed_index = seed_index
         #: object page id -> original element ids, in slot order.
         self.object_page_element_ids = object_page_element_ids
+        #: Live elements (deletes decrement, inserts increment).
         self.element_count = element_count
+        #: Per-object-page element cap the index was built with; the
+        #: write path splits pages that would exceed it.
+        self.page_capacity = page_capacity
+        #: Element-id watermark: ids of deleted elements are never
+        #: reused, so id-indexed directories size to this, not to
+        #: :attr:`element_count`.
+        self._next_id = element_count if next_id is None else next_id
         self.build_report = build_report
         self.last_crawl_stats: CrawlStats | None = None
         #: Expanding-radius rounds of the most recent :meth:`knn_query`.
@@ -140,6 +197,15 @@ class FLATIndex:
         #: builds them first publishes them to every sibling (the values
         #: are deterministic, so a concurrent double-build is benign).
         self._knn_state: dict = {}
+        #: Maintenance directories of the write path, built lazily on
+        #: the first mutation (:class:`_MutableState`).
+        self._mut: _MutableState | None = None
+        #: Records created by splits in the current batch, as
+        #: ``(new_record_id, sibling_record_id)`` — flushed onto leaves
+        #: next to their sibling by :meth:`_flush_metadata`.
+        self._pending_records: list = []
+        #: Records retired by merges in the current batch.
+        self._dead_records: set = set()
 
     # -- construction ------------------------------------------------------
 
@@ -204,31 +270,56 @@ class FLATIndex:
         report.packing_seconds = time.perf_counter() - t0
 
         return cls(
-            store, seed_index, object_page_element_ids, len(element_mbrs), report
+            store,
+            seed_index,
+            object_page_element_ids,
+            len(element_mbrs),
+            report,
+            page_capacity=page_capacity,
         )
 
     # -- persistence -------------------------------------------------------
 
     def snapshot(self, directory) -> "Path":
-        """Serialize this index (pages + directories) into *directory*.
+        """Export this index (pages + directories) into *directory*.
 
         The snapshot is self-describing and reopenable with
         :meth:`restore`; see :mod:`repro.core.snapshot` for the layout.
+        Exporting writes generation 0 of a fresh directory; an index
+        living on a writable file store publishes further generations
+        in place with :meth:`snapshot_generation`.
         """
         from repro.core.snapshot import snapshot_index
 
         return snapshot_index(self, directory)
 
+    def snapshot_generation(self) -> int:
+        """Publish the current state as the next snapshot generation.
+
+        Copy-on-write: only pages touched since the last generation
+        occupy new space in the data file, and every earlier generation
+        stays restorable.  Requires an index built on a writable
+        :class:`~repro.storage.filestore.FilePageStore`.
+        """
+        from repro.core.snapshot import snapshot_generation
+
+        return snapshot_generation(self)
+
     @classmethod
-    def restore(cls, directory, buffer=None, decoded=None) -> "FLATIndex":
+    def restore(cls, directory, generation=None, buffer=None,
+                decoded=None) -> "FLATIndex":
         """Reopen a snapshot over a read-only mmap-backed file store.
 
-        Queries against the restored index read the same pages and
-        return the same element ids as against the original build.
+        Loads the latest published generation unless *generation* names
+        an older one.  Queries against the restored index read the same
+        pages and return the same element ids as against the original
+        build.
         """
         from repro.core.snapshot import restore_index
 
-        return restore_index(directory, buffer=buffer, decoded=decoded)
+        return restore_index(
+            directory, generation=generation, buffer=buffer, decoded=decoded
+        )
 
     def with_store(self, store: PageStore) -> "FLATIndex":
         """A shallow clone of this index served from *store*.
@@ -246,12 +337,593 @@ class FLATIndex:
             self.object_page_element_ids,
             self.element_count,
             self.build_report,
+            page_capacity=self.page_capacity,
+            next_id=self._next_id,
         )
         # Immutable index state: clones share the holder itself, so the
         # kNN directories are built at most once across all clones no
         # matter who runs the first kNN query.
         clone._knn_state = self._knn_state
         return clone
+
+    def fork(self) -> "FLATIndex":
+        """A copy-on-write clone that can be mutated independently.
+
+        The forked index serves the same pages through a forked store
+        (unchanged payloads shared, see
+        :meth:`~repro.storage.pagestore.PageStore.fork`) and gets its
+        own copies of every directory the write path touches, so
+        ``insert``/``delete`` on the fork never perturb this index or
+        any reader still crawling it.  This is the unit of the serving
+        layer's snapshot isolation: mutate a fork, then atomically swap
+        readers over to it.
+        """
+        store = self.store.fork()
+        seed = self.seed_index
+        seed_copy = SeedIndex(
+            store,
+            seed.root_id,
+            seed.height,
+            list(seed.leaf_page_ids),
+            seed.record_page.copy(),
+            seed.record_slot.copy(),
+            dict(seed.leaf_record_ids),
+            fanout=seed.fanout,
+        )
+        clone = FLATIndex(
+            store,
+            seed_copy,
+            dict(self.object_page_element_ids),
+            self.element_count,
+            self.build_report,
+            page_capacity=self.page_capacity,
+            next_id=self._next_id,
+        )
+        # The write path replaces directory values wholesale (it never
+        # mutates shared arrays in place), so shallow dict copies above
+        # are enough.
+        clone._knn_state = dict(self._knn_state)
+        if self._mut is not None:
+            # Copy the maintenance directories rather than letting the
+            # fork rebuild them from pages: commits on a long-lived
+            # service would otherwise pay an O(index) metadata decode
+            # for every batch, however small.
+            mut = self._mut
+            clone._mut = _MutableState(
+                page_mbrs=mut.page_mbrs.copy(),
+                partition_mbrs=mut.partition_mbrs.copy(),
+                object_page_ids=mut.object_page_ids.copy(),
+                neighbors=[set(links) for links in mut.neighbors],
+                live=mut.live.copy(),
+                element_page=dict(mut.element_page),
+                record_of_page=dict(mut.record_of_page),
+                space_mbr=mut.space_mbr.copy(),
+                # Values are replaced wholesale on recompute, so a
+                # shallow copy keeps the caches independent.
+                leaf_mbrs=dict(mut.leaf_mbrs),
+            )
+        return clone
+
+    # -- updates --------------------------------------------------------------
+    #
+    # The write path maintains the build's three crawl invariants:
+    #
+    # 1. the partition boxes cover ``space_mbr`` gap-free (splits tile a
+    #    partition's box, merges only *union* boxes, and growing the
+    #    space extends every partition on the grown face through the new
+    #    slab);
+    # 2. every partition box contains its page MBR;
+    # 3. two records are linked iff their partition boxes intersect
+    #    (repaired exactly after every box change — discovery runs as
+    #    one vectorized in-RAM scan, mirroring the build's temporary
+    #    R-Tree, while page writes stay limited to the affected records'
+    #    leaves).
+    #
+    # Together these keep Algorithm 2 complete after any interleaving of
+    # inserts and deletes: the differential tests pin a mutated index's
+    # range/point/kNN answers to a from-scratch rebuild.
+    #
+    # Mutating an index that has live :meth:`with_store` clones is not
+    # supported — clones share directories by reference.  Concurrent
+    # serving uses :meth:`fork` + commit instead (see
+    # :meth:`repro.query.service.QueryService.apply_updates`).
+
+    def insert(self, element_mbrs: np.ndarray) -> np.ndarray:
+        """Insert elements; returns their newly assigned element ids.
+
+        Each element routes to the live partition whose box contains
+        its center (smallest such box; the nearest box once the space
+        has been grown to cover outliers).  Pages that would exceed
+        :attr:`page_capacity` split in two along the longest axis of
+        their partition box; affected metadata records are rewritten in
+        their seed leaves and the seed tree's internal levels are
+        repacked once per batch.
+        """
+        element_mbrs = validate_mbrs(np.atleast_2d(element_mbrs))
+        new_ids = np.arange(
+            self._next_id, self._next_id + len(element_mbrs), dtype=np.int64
+        )
+        if not len(element_mbrs):
+            return new_ids
+        self._check_mutable()
+        mut = self._ensure_mutable()
+        dirty: set = set()
+        batch_box = mbr_union_many(element_mbrs)
+        if not bool(mbr_contains_mbr(mut.space_mbr, batch_box)):
+            self._grow_space(batch_box, dirty)
+        self._next_id += len(element_mbrs)
+        centers = mbr_center(element_mbrs)
+        # Group the batch by routed record so each touched object page
+        # is decoded and rewritten once per batch, not once per element
+        # (on file stores every rewrite appends a whole physical page).
+        per_record: dict = {}
+        for pos, center in enumerate(centers):
+            per_record.setdefault(self._route(center), []).append(pos)
+        for rid, positions in per_record.items():
+            page_id = int(mut.object_page_ids[rid])
+            ids = np.append(
+                self.object_page_element_ids[page_id], new_ids[positions]
+            )
+            mbrs = np.vstack(
+                [self._page_elements(page_id), element_mbrs[positions]]
+            )
+            self._place(rid, page_id, ids, mbrs, dirty)
+        self.element_count += len(new_ids)
+        self._flush_metadata(dirty)
+        self._invalidate_query_state()
+        return new_ids
+
+    def delete(self, element_ids) -> None:
+        """Delete elements by id; unknown ids raise ``ValueError``.
+
+        Deletes shrink page MBRs exactly but never shrink partition
+        boxes (shrinking could open a coverage gap the crawl would fall
+        into).  A page left under a quarter of :attr:`page_capacity`
+        merges into the neighbor whose box union grows least, retiring
+        its record.
+        """
+        element_ids = np.atleast_1d(np.asarray(element_ids, dtype=np.int64))
+        if not len(element_ids):
+            return
+        self._check_mutable()
+        mut = self._ensure_mutable()
+        # Validate the whole batch before touching anything: a bad id
+        # must not leave pages half-mutated with the metadata unflushed.
+        unique = set()
+        for eid in element_ids:
+            eid = int(eid)
+            if eid not in mut.element_page:
+                raise ValueError(f"unknown element id {eid}")
+            if eid in unique:
+                raise ValueError(f"duplicate element id {eid} in delete batch")
+            unique.add(eid)
+        dirty: set = set()
+        # Group by object page: one decode/rewrite per touched page,
+        # with the underflow check running on the page's final count.
+        per_page: dict = {}
+        for eid in element_ids:
+            eid = int(eid)
+            per_page.setdefault(mut.element_page.pop(eid), []).append(eid)
+        for page_id, eids in per_page.items():
+            self._remove_elements(
+                page_id, np.asarray(eids, dtype=np.int64), dirty
+            )
+        self.element_count -= len(element_ids)
+        self._flush_metadata(dirty)
+        self._invalidate_query_state()
+
+    # -- update internals -----------------------------------------------------
+
+    def _check_mutable(self) -> None:
+        """Fail *before* any in-RAM state is touched on read-only stores.
+
+        Discovering the read-only backend mid-batch (on the first page
+        rewrite) would leave the maintenance directories desynced from
+        the pages; restored snapshots mutate through :meth:`fork`.
+        """
+        if not self.store.backend.writable:
+            raise PageStoreError(
+                "index store is read-only (restored snapshot); fork() the "
+                "index and mutate the fork"
+            )
+
+    def _ensure_mutable(self) -> _MutableState:
+        """Build the maintenance directories from the serialized records."""
+        if self._mut is not None:
+            return self._mut
+        count = self.seed_index.record_count
+        page_mbrs = np.zeros((count, 6), dtype=np.float64)
+        partition_mbrs = np.zeros((count, 6), dtype=np.float64)
+        object_page_ids = np.full(count, -1, dtype=np.int64)
+        neighbors = [set() for _ in range(count)]
+        live = np.zeros(count, dtype=bool)
+        for record in self.seed_index.iter_records():
+            rid = record.record_id
+            page_mbrs[rid] = record.page_mbr
+            partition_mbrs[rid] = record.partition_mbr
+            object_page_ids[rid] = record.object_page_id
+            neighbors[rid] = set(record.neighbor_ids)
+            live[rid] = True
+        element_page = {
+            int(eid): page_id
+            for page_id, ids in self.object_page_element_ids.items()
+            for eid in ids
+        }
+        record_of_page = {
+            int(object_page_ids[rid]): int(rid) for rid in np.flatnonzero(live)
+        }
+        # The build tiles the space box exactly and stretches partitions
+        # only within it, so the union of live partition boxes *is* the
+        # covered space; inserts grow it explicitly from here on.
+        self._mut = _MutableState(
+            page_mbrs=page_mbrs,
+            partition_mbrs=partition_mbrs,
+            object_page_ids=object_page_ids,
+            neighbors=neighbors,
+            live=live,
+            element_page=element_page,
+            record_of_page=record_of_page,
+            space_mbr=mbr_union_many(partition_mbrs[live]),
+        )
+        return self._mut
+
+    def _invalidate_query_state(self) -> None:
+        self._knn_state.clear()
+
+    def _page_elements(self, page_id: int) -> np.ndarray:
+        """Current element MBRs of an object page (maintenance read)."""
+        return decode_element_page(self.store.read_silent(page_id))
+
+    def _live_records(self) -> np.ndarray:
+        return np.flatnonzero(self._mut.live)
+
+    def _route(self, center: np.ndarray) -> int:
+        """The record whose partition receives an element at *center*."""
+        mut = self._mut
+        live_ids = self._live_records()
+        boxes = mut.partition_mbrs[live_ids]
+        inside = live_ids[mbr_contains_point(boxes, center)]
+        if inside.size:
+            # Smallest containing box; ties go to the lowest record id.
+            return int(inside[np.argmin(mbr_volume(mut.partition_mbrs[inside]))])
+        return int(live_ids[np.argmin(mbr_distance_to_point(boxes, center))])
+
+    def _grow_space(self, needed: np.ndarray, dirty: set) -> None:
+        """Extend the covered space box to enclose *needed*.
+
+        Growing a face pushes every partition box touching the old face
+        out to the new one, so the boundary partitions tile the new
+        slab and the gap-free invariant survives; their links are then
+        repaired.  This is what keeps far-outlier inserts crawlable —
+        a lone stretched "finger" into uncovered space could strand
+        results behind a connectivity gap.
+        """
+        mut = self._mut
+        grown: set = set()
+        live_ids = self._live_records()
+        new_space = mbr_union(mut.space_mbr, needed)
+        for face in range(6):
+            if new_space[face] == mut.space_mbr[face]:
+                continue
+            boxes = mut.partition_mbrs[live_ids]
+            touching = live_ids[boxes[:, face] == mut.space_mbr[face]]
+            mut.partition_mbrs[touching, face] = new_space[face]
+            grown.update(int(rid) for rid in touching)
+        mut.space_mbr = new_space
+        for rid in sorted(grown):
+            dirty.add(rid)
+            self._refresh_neighbors(rid, dirty)
+
+    def _refresh_neighbors(self, rid: int, dirty: set) -> None:
+        """Recompute *rid*'s links exactly; keep symmetry, mark leaves."""
+        mut = self._mut
+        live_ids = self._live_records()
+        hits = live_ids[
+            boxes_intersect_box(
+                mut.partition_mbrs[live_ids], mut.partition_mbrs[rid]
+            )
+        ]
+        new_set = {int(h) for h in hits if int(h) != rid}
+        old_set = mut.neighbors[rid]
+        if new_set == old_set:
+            return
+        for gone in old_set - new_set:
+            mut.neighbors[gone].discard(rid)
+            dirty.add(gone)
+        for come in new_set - old_set:
+            mut.neighbors[come].add(rid)
+            dirty.add(come)
+        mut.neighbors[rid] = new_set
+        dirty.add(rid)
+
+    def _set_object_page(self, rid: int, page_id: int, ids: np.ndarray,
+                         mbrs: np.ndarray, dirty: set) -> None:
+        """Rewrite one record's object page and refresh its boxes."""
+        mut = self._mut
+        self.store.rewrite(page_id, encode_element_page(mbrs))
+        self.object_page_element_ids[page_id] = ids
+        if len(mbrs):
+            page_mbr = mbr_union_many(mbrs)
+        else:
+            # An emptied page keeps a degenerate point box at its
+            # partition's lower corner: never matches real queries in
+            # practice, always stays inside the partition box, and
+            # keeps every MBR finite for serialization and STR packing.
+            corner = mut.partition_mbrs[rid][:3]
+            page_mbr = np.concatenate([corner, corner])
+        if not np.array_equal(page_mbr, mut.page_mbrs[rid]):
+            mut.page_mbrs[rid] = page_mbr
+            dirty.add(rid)
+        widened = mbr_union(mut.partition_mbrs[rid], page_mbr)
+        if not np.array_equal(widened, mut.partition_mbrs[rid]):
+            mut.partition_mbrs[rid] = widened
+            dirty.add(rid)
+            self._refresh_neighbors(rid, dirty)
+
+    def _place(self, rid: int, page_id: int, ids: np.ndarray,
+               mbrs: np.ndarray, dirty: set) -> None:
+        """Settle *ids*/*mbrs* as record *rid*'s elements, splitting as
+        long as they exceed the page capacity."""
+        mut = self._mut
+        if len(ids) <= self.page_capacity:
+            for eid in ids:
+                mut.element_page[int(eid)] = page_id
+            self._set_object_page(rid, page_id, ids, mbrs, dirty)
+            return
+        self._split(rid, page_id, ids, mbrs, dirty)
+
+    def _split(self, rid: int, page_id: int, ids: np.ndarray,
+               mbrs: np.ndarray, dirty: set) -> None:
+        """Split an overfull partition in two along its longest axis.
+
+        The two half-boxes tile the old partition box exactly (cut at
+        the midpoint between the straddling element centers), each then
+        stretched to its own page MBR — the same shape Algorithm 1
+        produces, so all build invariants carry over.  The second half
+        becomes a brand-new record on a freshly allocated object page;
+        a half still overfull after a batched insert simply splits
+        again (recursively, via :meth:`_place`).
+        """
+        mut = self._mut
+        part_box = mut.partition_mbrs[rid].copy()
+        axis = int(np.argmax(part_box[3:] - part_box[:3]))
+        centers = mbr_center(mbrs)[:, axis]
+        order = np.argsort(centers, kind="stable")
+        half = len(order) // 2
+        low, high = order[:half], order[half:]
+        cut = 0.5 * (centers[low[-1]] + centers[high[0]])
+
+        box_low, box_high = part_box.copy(), part_box.copy()
+        box_low[axis + 3] = cut
+        box_high[axis] = cut
+
+        # Register the new record with a placeholder empty page; the
+        # recursive placement below writes the real contents (and may
+        # split further).
+        new_rid = len(mut.live)
+        corner = box_high[:3]
+        new_page_id = self.store.allocate(
+            encode_element_page(np.empty((0, 6))), CATEGORY_OBJECT
+        )
+        mut.page_mbrs = np.vstack(
+            [mut.page_mbrs, np.concatenate([corner, corner])[None, :]]
+        )
+        mut.partition_mbrs = np.vstack([mut.partition_mbrs, box_high[None, :]])
+        mut.object_page_ids = np.append(mut.object_page_ids, new_page_id)
+        mut.neighbors.append(set())
+        mut.live = np.append(mut.live, True)
+        mut.record_of_page[new_page_id] = new_rid
+        self.object_page_element_ids[new_page_id] = np.empty(0, dtype=np.int64)
+        seed = self.seed_index
+        seed.record_page = np.append(seed.record_page, -1)
+        seed.record_slot = np.append(seed.record_slot, -1)
+        # The new record spills from the splitting record's leaf, so it
+        # lands next to its spatial sibling (or on a fresh leaf).
+        self._pending_records.append((new_rid, rid))
+
+        mut.partition_mbrs[rid] = box_low
+        self._place(rid, page_id, ids[low], mbrs[low], dirty)
+        self._place(new_rid, new_page_id, ids[high], mbrs[high], dirty)
+        dirty.add(rid)
+        dirty.add(new_rid)
+        self._refresh_neighbors(rid, dirty)
+        self._refresh_neighbors(new_rid, dirty)
+
+    def _remove_elements(self, page_id: int, eids: np.ndarray,
+                         dirty: set) -> None:
+        """Drop a batch's elements from one object page (one rewrite)."""
+        mut = self._mut
+        rid = mut.record_of_page[page_id]
+        ids = self.object_page_element_ids[page_id]
+        keep = ~np.isin(ids, eids)
+        self._set_object_page(
+            rid, page_id, ids[keep], self._page_elements(page_id)[keep], dirty
+        )
+        remaining = int(keep.sum())
+        if remaining == 0 or remaining * 4 < self.page_capacity:
+            self._try_merge(rid, dirty)
+
+    def _try_merge(self, rid: int, dirty: set) -> None:
+        """Fold an underfull record into a neighbor, if one has room.
+
+        The surviving partition box becomes the union of both boxes —
+        a superset, so coverage is preserved — and the retired record
+        is unlinked everywhere.  With no roomy neighbor (or none at
+        all) the record simply stays, possibly empty.
+        """
+        mut = self._mut
+        my_page = int(mut.object_page_ids[rid])
+        my_ids = self.object_page_element_ids[my_page]
+        room = [
+            nbr
+            for nbr in sorted(mut.neighbors[rid])
+            if len(self.object_page_element_ids[int(mut.object_page_ids[nbr])])
+            + len(my_ids)
+            <= self.page_capacity
+        ]
+        if not room:
+            return
+        target = min(
+            room,
+            key=lambda nbr: (
+                float(
+                    mbr_volume(
+                        mbr_union(mut.partition_mbrs[nbr], mut.partition_mbrs[rid])
+                    )
+                ),
+                nbr,
+            ),
+        )
+        target_page = int(mut.object_page_ids[target])
+        merged_ids = np.append(self.object_page_element_ids[target_page], my_ids)
+        merged_mbrs = np.vstack(
+            [self._page_elements(target_page), self._page_elements(my_page)]
+        )
+        for eid in my_ids:
+            mut.element_page[int(eid)] = target_page
+        mut.partition_mbrs[target] = mbr_union(
+            mut.partition_mbrs[target], mut.partition_mbrs[rid]
+        )
+        dirty.add(target)
+        self._set_object_page(target, target_page, merged_ids, merged_mbrs, dirty)
+
+        # Retire the merged-away record.
+        mut.live[rid] = False
+        mut.object_page_ids[rid] = -1
+        del mut.record_of_page[my_page]
+        del self.object_page_element_ids[my_page]
+        for nbr in mut.neighbors[rid]:
+            mut.neighbors[nbr].discard(rid)
+            dirty.add(nbr)
+        mut.neighbors[rid] = set()
+        dirty.discard(rid)
+        self._dead_records.add(rid)
+        self._refresh_neighbors(target, dirty)
+
+    def _flush_metadata(self, dirty: set) -> None:
+        """Rewrite affected seed leaves, then repack the upper levels.
+
+        Changed records are re-encoded on their current leaf; records
+        that no longer fit (neighbor lists grew) spill — together with
+        brand-new records — onto freshly allocated leaves.  Internal
+        levels are rebuilt once per batch from the final leaf set, so
+        seed descents always see fresh key MBRs.
+        """
+        mut = self._mut
+        seed = self.seed_index
+        new_records = self._pending_records
+        dead_records = self._dead_records
+        self._pending_records = []
+        self._dead_records = set()
+        if not dirty and not new_records and not dead_records:
+            return
+
+        touched = {}
+        for rid in dirty:
+            leaf = int(seed.record_page[rid])
+            if leaf >= 0:
+                touched.setdefault(leaf, list(seed.leaf_record_ids[leaf]))
+        for rid in dead_records:
+            leaf = int(seed.record_page[rid])
+            if leaf >= 0:
+                rids = touched.setdefault(leaf, list(seed.leaf_record_ids[leaf]))
+                rids.remove(rid)
+                seed.record_page[rid] = -1
+                seed.record_slot[rid] = -1
+        for new_rid, sibling in new_records:
+            leaf = int(seed.record_page[sibling])
+            if leaf >= 0:
+                touched.setdefault(leaf, list(seed.leaf_record_ids[leaf])).append(
+                    new_rid
+                )
+            else:  # sibling itself is still pending (several splits deep)
+                touched.setdefault(-1, [])
+                touched[-1].append(new_rid)
+
+        budget = PAGE_SIZE - PAGE_HEADER_BYTES
+        keys_moved = False
+        overflow = list(touched.pop(-1, []))
+        for leaf, rids in touched.items():
+            kept, used = [], 0
+            for rid in rids:
+                size = metadata_record_bytes(len(mut.neighbors[rid]))
+                if used + size > budget:
+                    overflow.append(rid)
+                    continue
+                kept.append(rid)
+                used += size
+            if not kept:
+                seed.leaf_page_ids.remove(leaf)
+                del seed.leaf_record_ids[leaf]
+                mut.leaf_mbrs.pop(leaf, None)
+                keys_moved = True
+                continue
+            self._write_leaf(leaf, kept, allocate=False)
+            key = mbr_union_many(mut.page_mbrs[seed.leaf_record_ids[leaf]])
+            cached = mut.leaf_mbrs.get(leaf)
+            if cached is None or not np.array_equal(cached, key):
+                mut.leaf_mbrs[leaf] = key
+                keys_moved = True
+
+        while overflow:
+            chunk, used = [], 0
+            while overflow:
+                size = metadata_record_bytes(len(mut.neighbors[overflow[0]]))
+                if chunk and used + size > budget:
+                    break
+                used += size
+                chunk.append(overflow.pop(0))
+            new_leaf = self._write_leaf(None, chunk, allocate=True)
+            mut.leaf_mbrs[new_leaf] = mbr_union_many(
+                mut.page_mbrs[seed.leaf_record_ids[new_leaf]]
+            )
+            keys_moved = True
+
+        # Repack the internal levels only when some leaf key actually
+        # moved (or a leaf appeared/vanished): rewrites that touch only
+        # neighbor lists leave every existing internal page valid, so a
+        # small batch does not pay — or allocate — the whole upper tree.
+        if not keys_moved:
+            return
+        for leaf in seed.leaf_page_ids:
+            if leaf not in mut.leaf_mbrs:  # first flush populates lazily
+                mut.leaf_mbrs[leaf] = mbr_union_many(
+                    mut.page_mbrs[seed.leaf_record_ids[leaf]]
+                )
+        seed.root_id, seed.height = pack_upper_levels(
+            self.store,
+            seed.leaf_page_ids,
+            np.stack([mut.leaf_mbrs[leaf] for leaf in seed.leaf_page_ids]),
+            str_groups,
+            CATEGORY_SEED_INTERNAL,
+            NODE_FANOUT if seed.fanout is None else seed.fanout,
+        )
+
+    def _write_leaf(self, leaf, rids: list, allocate: bool) -> int:
+        """Serialize *rids* onto one seed leaf; update the directory."""
+        mut = self._mut
+        seed = self.seed_index
+        payload = encode_metadata_page(
+            [
+                (
+                    mut.page_mbrs[rid],
+                    mut.partition_mbrs[rid],
+                    int(mut.object_page_ids[rid]),
+                    sorted(mut.neighbors[rid]),
+                )
+                for rid in rids
+            ]
+        )
+        if allocate:
+            leaf = self.store.allocate(payload, CATEGORY_METADATA)
+            seed.leaf_page_ids.append(leaf)
+        else:
+            self.store.rewrite(leaf, payload)
+        ids = np.asarray(rids, dtype=np.int64)
+        seed.leaf_record_ids[leaf] = ids
+        seed.record_page[ids] = leaf
+        seed.record_slot[ids] = np.arange(len(ids))
+        return leaf
 
     # -- querying -------------------------------------------------------------
 
@@ -279,8 +951,10 @@ class FLATIndex:
         stats.seeded = True
 
         results: list = []
-        if self._visited_scratch is None:
-            self._visited_scratch = np.zeros(self.seed_index.record_count, dtype=bool)
+        record_count = self.seed_index.record_count
+        if self._visited_scratch is None or len(self._visited_scratch) < record_count:
+            # (Re)sized when the write path has grown the record set.
+            self._visited_scratch = np.zeros(record_count, dtype=bool)
         else:
             self._visited_scratch.fill(False)
         visited = self._visited_scratch
@@ -442,8 +1116,10 @@ class FLATIndex:
         the crawl just visited cost no further physical I/O.
         """
         if "element_page" not in self._knn_state:
-            page = np.empty(self.element_count, dtype=np.int64)
-            slot = np.empty(self.element_count, dtype=np.int64)
+            # Sized to the id watermark, not the live count: deleted
+            # element ids leave holes that are never looked up.
+            page = np.empty(self._next_id, dtype=np.int64)
+            slot = np.empty(self._next_id, dtype=np.int64)
             for page_id, element_ids in self.object_page_element_ids.items():
                 page[element_ids] = page_id
                 slot[element_ids] = np.arange(len(element_ids))

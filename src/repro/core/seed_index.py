@@ -85,11 +85,15 @@ class SeedIndex:
         record_page: np.ndarray,
         record_slot: np.ndarray,
         leaf_record_ids: dict,
+        fanout: int | None = None,
     ):
         self.store = store
         self.root_id = root_id
         #: Internal levels above the metadata leaf pages.
         self.height = height
+        #: Internal fanout cap the tree was built with (``None`` = full
+        #: page fanout); the write path rebuilds upper levels with it.
+        self.fanout = fanout
         self.leaf_page_ids = leaf_page_ids
         #: record id -> metadata leaf page id (what an on-disk neighbor
         #: pointer would encode directly).
@@ -177,6 +181,7 @@ class SeedIndex:
             record_page,
             record_slot,
             leaf_record_ids,
+            fanout=fanout,
         )
 
     def with_store(self, store: PageStore) -> "SeedIndex":
@@ -195,6 +200,7 @@ class SeedIndex:
             self.record_page,
             self.record_slot,
             self.leaf_record_ids,
+            fanout=self.fanout,
         )
 
     # -- record access ------------------------------------------------------

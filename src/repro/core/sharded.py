@@ -36,7 +36,15 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.geometry.mbr import point_as_box, validate_mbrs
+from repro.geometry.mbr import (
+    mbr_center,
+    mbr_contains_mbr,
+    mbr_contains_point,
+    mbr_distance_to_point,
+    mbr_volume,
+    point_as_box,
+    validate_mbrs,
+)
 from repro.query.planner import QueryPlan, QueryPlanner
 from repro.storage.constants import OBJECT_PAGE_CAPACITY
 from repro.storage.pagestore import PageStore, PageStoreError, PageStoreGroup
@@ -49,7 +57,9 @@ SHARD_META_FILENAME = "shards.json"
 SHARD_ARRAYS_FILENAME = "shards.npz"
 
 #: Bumped on any incompatible change to the shard-set serialization.
-SHARDED_FORMAT_VERSION = 1
+#: Version 2 tracks the write path (generational per-shard snapshots,
+#: global element-id watermark).
+SHARDED_FORMAT_VERSION = 2
 
 
 def _shard_dirname(shard_id: int) -> str:
@@ -75,7 +85,12 @@ class Shard:
 
     @property
     def element_count(self) -> int:
-        return len(self.element_ids)
+        """Live elements in this shard.
+
+        Not ``len(element_ids)`` — that array keeps stale slots for
+        deleted elements so local→global lookups stay positional.
+        """
+        return self.index.element_count
 
     def to_global(self, local_ids: np.ndarray) -> np.ndarray:
         """Map shard-local result ids to global ids (order-preserving)."""
@@ -85,10 +100,17 @@ class Shard:
 class ShardedFLATIndex:
     """K spatial FLAT shards behind one scatter–gather query planner."""
 
-    def __init__(self, shards: list, planner: QueryPlanner, element_count: int):
+    def __init__(self, shards: list, planner: QueryPlanner, element_count: int,
+                 next_id: int | None = None):
         self.shards = shards
         self.planner = planner
+        #: Live elements across all shards.
         self.element_count = element_count
+        #: Global element-id watermark (deleted ids are never reused).
+        self._next_id = element_count if next_id is None else next_id
+        #: Lazily built ``global element id -> shard position`` map
+        #: (the write path's routing directory).
+        self._element_shard: dict | None = None
         #: One facade over every shard's store, so single-store harnesses
         #: (``run_queries``, ``QueryService``) drive the shard set as is.
         self.store = PageStoreGroup([shard.store for shard in shards])
@@ -168,7 +190,142 @@ class ShardedFLATIndex:
                     store=view,
                 )
             )
-        return ShardedFLATIndex(shards, self.planner, self.element_count)
+        return ShardedFLATIndex(
+            shards, self.planner, self.element_count, next_id=self._next_id
+        )
+
+    def fork(self) -> "ShardedFLATIndex":
+        """A copy-on-write clone that can be mutated independently.
+
+        Every shard's inner index forks (shared unchanged pages, own
+        directories) and the planner's shard boxes are copied, so
+        updates on the fork — including shard-box widening — never
+        perturb this index or readers still crawling it.
+        """
+        shards = []
+        for shard in self.shards:
+            index = shard.index.fork()
+            shards.append(
+                Shard(
+                    shard_id=shard.shard_id,
+                    mbr=shard.mbr.copy(),
+                    element_ids=shard.element_ids.copy(),
+                    index=index,
+                    store=index.store,
+                )
+            )
+        clone = ShardedFLATIndex(
+            shards, self.planner.copy(), self.element_count, next_id=self._next_id
+        )
+        if self._element_shard is not None:
+            clone._element_shard = dict(self._element_shard)
+        return clone
+
+    # -- updates ---------------------------------------------------------
+
+    def _check_mutable(self) -> None:
+        """Fail before any routing/planner state is touched when any
+        shard's store is read-only (restored sets mutate via fork)."""
+        for shard in self.shards:
+            if not shard.store.backend.writable:
+                raise PageStoreError(
+                    f"shard {shard.shard_id} store is read-only (restored "
+                    "snapshot); fork() the index and mutate the fork"
+                )
+
+    def _routing_directory(self) -> dict:
+        """``global element id -> shard position``, built on first use.
+
+        Rebuilt from each shard's *live* local ids (its object-page
+        directory), never from ``element_ids`` — that array keeps stale
+        slots for deleted elements so ``searchsorted`` stays valid, and
+        including them here would let already-deleted ids pass delete
+        validation after a snapshot/restore round trip.
+        """
+        if self._element_shard is None:
+            routing = {}
+            for pos, shard in enumerate(self.shards):
+                for local_ids in shard.index.object_page_element_ids.values():
+                    for local in local_ids:
+                        routing[int(shard.element_ids[int(local)])] = pos
+            self._element_shard = routing
+        return self._element_shard
+
+    def insert(self, element_mbrs: np.ndarray) -> np.ndarray:
+        """Insert elements; returns their newly assigned global ids.
+
+        Each element routes to the shard whose box contains its
+        centroid (smallest such box; the closest box for outliers).
+        When the element's MBR protrudes beyond the routed shard's box,
+        the box — and the planner's copy of it — widens first, so
+        planner pruning stays exact.  Ids are assigned in batch order,
+        monotonically increasing, which keeps every shard's
+        local-to-global id map sorted and the ``(distance, id)``
+        tie-break consistent between local and global views.
+        """
+        element_mbrs = validate_mbrs(np.atleast_2d(element_mbrs))
+        new_ids = np.arange(
+            self._next_id, self._next_id + len(element_mbrs), dtype=np.int64
+        )
+        if not len(element_mbrs):
+            return new_ids
+        self._check_mutable()
+        routing = self._routing_directory()
+        self._next_id += len(element_mbrs)
+        centers = mbr_center(element_mbrs)
+        boxes = self.planner.shard_mbrs
+        per_shard: dict = {}
+        for gid, mbr, center in zip(new_ids, element_mbrs, centers):
+            inside = np.flatnonzero(mbr_contains_point(boxes, center))
+            if inside.size:
+                pos = int(inside[np.argmin(mbr_volume(boxes[inside]))])
+            else:
+                pos = int(np.argmin(mbr_distance_to_point(boxes, center)))
+            if not bool(mbr_contains_mbr(boxes[pos], mbr)):
+                self.planner.widen_shard(pos, mbr)
+                self.shards[pos].mbr = self.planner.shard_mbrs[pos]
+            per_shard.setdefault(pos, []).append((int(gid), mbr))
+            routing[int(gid)] = pos
+        for pos, entries in per_shard.items():
+            shard = self.shards[pos]
+            gids = np.array([gid for gid, _mbr in entries], dtype=np.int64)
+            local = shard.index.insert(np.stack([mbr for _gid, mbr in entries]))
+            if not np.array_equal(local, np.arange(len(shard.element_ids),
+                                                   len(shard.element_ids) + len(gids))):
+                raise AssertionError("shard-local id assignment drifted")
+            shard.element_ids = np.append(shard.element_ids, gids)
+        self.element_count += len(new_ids)
+        return new_ids
+
+    def delete(self, element_ids) -> None:
+        """Delete elements by global id; unknown ids raise ``ValueError``."""
+        element_ids = np.atleast_1d(np.asarray(element_ids, dtype=np.int64))
+        if not len(element_ids):
+            return
+        self._check_mutable()
+        routing = self._routing_directory()
+        # Validate before mutating: a bad id must not strand the valid
+        # ids of the batch half-removed from the routing directory.
+        unique = set()
+        for gid in element_ids:
+            gid = int(gid)
+            if gid not in routing:
+                raise ValueError(f"unknown element id {gid}")
+            if gid in unique:
+                raise ValueError(f"duplicate element id {gid} in delete batch")
+            unique.add(gid)
+        per_shard: dict = {}
+        for gid in element_ids:
+            gid = int(gid)
+            per_shard.setdefault(routing.pop(gid), []).append(gid)
+        for pos, gids in per_shard.items():
+            shard = self.shards[pos]
+            # element_ids stays sorted (ids are assigned monotonically
+            # and deleted slots keep their stale values), so the local
+            # id of a live global id is its searchsorted position.
+            local = np.searchsorted(shard.element_ids, np.asarray(gids))
+            shard.index.delete(local)
+        self.element_count -= len(element_ids)
 
     # -- querying --------------------------------------------------------
 
@@ -245,7 +402,9 @@ class ShardedFLATIndex:
             snapshot_index(shard.index, directory / _shard_dirname(shard.shard_id))
 
         offsets = np.zeros(len(self.shards) + 1, dtype=np.int64)
-        np.cumsum([shard.element_count for shard in self.shards], out=offsets[1:])
+        # Offsets over the raw id maps (stale slots included) — the
+        # restored arrays must be positionally identical.
+        np.cumsum([len(shard.element_ids) for shard in self.shards], out=offsets[1:])
         np.savez_compressed(
             directory / SHARD_ARRAYS_FILENAME,
             shard_mbrs=np.stack([shard.mbr for shard in self.shards]),
@@ -259,6 +418,7 @@ class ShardedFLATIndex:
             "index": "ShardedFLAT",
             "shard_count": len(self.shards),
             "element_count": int(self.element_count),
+            "next_element_id": int(self._next_id),
         }
         (directory / SHARD_META_FILENAME).write_text(json.dumps(meta, indent=2) + "\n")
         return directory
@@ -293,7 +453,13 @@ class ShardedFLATIndex:
                 )
             )
         planner = QueryPlanner(shard_mbrs)
-        return cls(shards, planner, int(meta["element_count"]))
+        element_count = int(meta["element_count"])
+        return cls(
+            shards,
+            planner,
+            element_count,
+            next_id=int(meta.get("next_element_id", element_count)),
+        )
 
     def close(self) -> None:
         """Close every shard store that supports closing (restored sets)."""

@@ -1,25 +1,30 @@
 """Persist a built FLAT index to a directory and reopen it from disk.
 
-A snapshot directory is fully self-describing:
+A snapshot directory holds numbered, copy-on-write *generations*:
 
-* ``pages.dat`` / ``categories.bin`` / ``manifest.json`` — every page
-  of the backing store, byte-identical and in the same page-id order
-  (see :mod:`repro.storage.filestore`), so all pointers baked into the
-  serialized pages stay valid verbatim.
-* ``index.npz`` — the in-RAM directories: the record directory
-  (``record_page`` / ``record_slot``), the seed tree's leaf page ids,
-  the object-page → element-id mapping (CSR form) and the build
-  report's pointer-count histogram.
-* ``index.json`` — scalars: element count, seed root/height, build
-  timings and a format version.
+* ``pages.dat`` / ``categories.bin`` / ``manifest-NNNNNN.json`` — the
+  page store (see :mod:`repro.storage.filestore`): the data file is
+  append-only, each generation's manifest carries the page-translation
+  table of that moment, so unchanged pages are shared byte-for-byte
+  between generations and older generations stay restorable.
+* ``index-NNNNNN.npz`` — that generation's in-RAM directories: the
+  record directory (``record_page`` / ``record_slot``), the seed tree's
+  leaf page ids, the object-page → element-id mapping (CSR form) and
+  the build report's pointer-count histogram.
+* ``index-NNNNNN.json`` — scalars: element count, id watermark, page
+  capacity, seed root/height/fanout, build timings, a format version.
 
-``restore`` reopens the pages through a read-only ``mmap``-backed
-:class:`~repro.storage.filestore.FilePageStore`; queries against the
-restored index read the same pages and return the same elements as
-against the original in-memory build (pinned by tests on the Fig. 13
-SN workload).  Restoring is the cheap path — no partitioning, neighbor
-discovery or packing — which is what lets a serving process reopen a
-prebuilt index in milliseconds.
+``snapshot_index`` exports an index into a fresh directory as
+generation 0; ``snapshot_generation`` publishes the current state of an
+index living on a *writable* file store as the next generation in
+place (rewritten pages were already append-redirected, so this is the
+cheap path the mutable serving stack uses).  ``restore_index`` reopens
+the latest generation — or any older one — over a read-only
+``mmap``-backed :class:`~repro.storage.filestore.FilePageStore`;
+queries against the restored index read the same pages and return the
+same elements as against the original (pinned by tests on the Fig. 13
+SN workload).  Malformed directories surface as
+:class:`~repro.storage.pagestore.SnapshotError`.
 """
 
 from __future__ import annotations
@@ -29,23 +34,31 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.storage.filestore import FilePageStore, write_store_snapshot
-from repro.storage.pagestore import PageStoreError
-
-#: Array bundle and scalar manifest inside a snapshot directory.
-INDEX_ARRAYS_FILENAME = "index.npz"
-INDEX_META_FILENAME = "index.json"
+from repro.storage.filestore import (
+    FilePageBackend,
+    FilePageStore,
+    list_generations,
+)
+from repro.storage.pagestore import PageStoreError, SnapshotError
 
 #: Bumped on any incompatible change to the index serialization.
-INDEX_FORMAT_VERSION = 1
+#: Version 2 introduced numbered generations and the write-path fields
+#: (id watermark, page capacity, seed fanout, dead-record slots).
+INDEX_FORMAT_VERSION = 2
 
 
-def snapshot_index(flat, directory) -> Path:
-    """Serialize *flat* (a built ``FLATIndex``) into *directory*."""
-    directory = Path(directory)
-    directory.mkdir(parents=True, exist_ok=True)
-    write_store_snapshot(flat.store, directory)
+def index_meta_filename(generation: int) -> str:
+    """Scalar manifest of one index generation."""
+    return f"index-{generation:06d}.json"
 
+
+def index_arrays_filename(generation: int) -> str:
+    """Array bundle of one index generation."""
+    return f"index-{generation:06d}.npz"
+
+
+def _write_index_files(flat, directory: Path, generation: int) -> None:
+    """Write one generation's ``index-*.npz``/``index-*.json`` pair."""
     seed = flat.seed_index
     object_page_ids = np.fromiter(
         flat.object_page_element_ids.keys(),
@@ -59,12 +72,16 @@ def snapshot_index(flat, directory) -> Path:
     offsets = np.zeros(len(element_id_lists) + 1, dtype=np.int64)
     if element_id_lists:
         np.cumsum([len(ids) for ids in element_id_lists], out=offsets[1:])
-        values = np.concatenate(element_id_lists)
+        values = (
+            np.concatenate(element_id_lists)
+            if offsets[-1]
+            else np.empty(0, dtype=np.int64)
+        )
     else:
         values = np.empty(0, dtype=np.int64)
 
     np.savez_compressed(
-        directory / INDEX_ARRAYS_FILENAME,
+        directory / index_arrays_filename(generation),
         record_page=seed.record_page,
         record_slot=seed.record_slot,
         leaf_page_ids=np.asarray(seed.leaf_page_ids, dtype=np.int64),
@@ -78,9 +95,13 @@ def snapshot_index(flat, directory) -> Path:
     meta = {
         "format_version": INDEX_FORMAT_VERSION,
         "index": "FLAT",
+        "generation": generation,
         "element_count": int(flat.element_count),
+        "next_element_id": int(flat._next_id),
+        "page_capacity": int(flat.page_capacity),
         "seed_root_id": int(seed.root_id),
         "seed_height": int(seed.height),
+        "seed_fanout": seed.fanout,
         "build_report": {
             "partitioning_seconds": report.partitioning_seconds,
             "finding_neighbors_seconds": report.finding_neighbors_seconds,
@@ -88,13 +109,64 @@ def snapshot_index(flat, directory) -> Path:
             "partition_count": int(report.partition_count),
         },
     }
-    (directory / INDEX_META_FILENAME).write_text(json.dumps(meta, indent=2) + "\n")
+    (directory / index_meta_filename(generation)).write_text(
+        json.dumps(meta, indent=2) + "\n"
+    )
+
+
+def snapshot_index(flat, directory) -> Path:
+    """Export *flat* (a built ``FLATIndex``) into *directory* as generation 0.
+
+    The index files are written before the store manifest is atomically
+    published, so a crash mid-export leaves no generation behind.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    store = flat.store
+    source_dir = getattr(store.backend, "directory", None)
+    if source_dir is not None and Path(source_dir).resolve() == directory.resolve():
+        raise PageStoreError(
+            f"cannot export a snapshot into the index's own directory "
+            f"{directory}; use snapshot_generation() to publish in place"
+        )
+    target = FilePageBackend.create(directory)
+    try:
+        for page_id in range(len(store)):
+            target.append(store.read_silent(page_id), store.category(page_id))
+        _write_index_files(flat, directory, generation=0)
+    except BaseException:
+        target.discard()
+        raise
+    target.close()
     return directory
 
 
-def restore_index(directory, buffer=None, decoded=None):
-    """Reopen a snapshot as a ``FLATIndex`` over an mmap-backed store.
+def snapshot_generation(flat) -> int:
+    """Publish the current state of a file-backed index as a new generation.
 
+    Requires ``flat.store`` to be a *writable*
+    :class:`~repro.storage.filestore.FilePageStore` (an index built
+    directly on disk).  Unchanged pages are shared with every earlier
+    generation; the store manifest is published last, atomically, so a
+    partial write never becomes restorable.  Returns the generation.
+    """
+    backend = flat.store.backend
+    if not isinstance(backend, FilePageBackend) or not backend.writable:
+        raise PageStoreError(
+            "snapshot_generation() needs an index built on a writable "
+            "FilePageStore; use snapshot_index() to export other stores"
+        )
+    generation = 0 if backend.generation is None else backend.generation + 1
+    _write_index_files(flat, backend.directory, generation)
+    committed = backend.commit_generation()
+    assert committed == generation
+    return generation
+
+
+def restore_index(directory, generation=None, buffer=None, decoded=None):
+    """Reopen a snapshot generation as a ``FLATIndex`` over an mmap store.
+
+    ``generation=None`` picks the latest published generation.
     ``buffer`` / ``decoded`` configure the restored store's caches,
     exactly as in the :class:`~repro.storage.pagestore.PageStore`
     constructor.  The heavy page payloads stay on disk; only the
@@ -104,16 +176,46 @@ def restore_index(directory, buffer=None, decoded=None):
     from repro.core.seed_index import SeedIndex
 
     directory = Path(directory)
-    meta_path = directory / INDEX_META_FILENAME
+    if generation is None:
+        # Latest generation carrying index files.  A plain store flush
+        # (e.g. FilePageStore.close after unmanifested mutations) may
+        # publish a store-only generation; skip those rather than fail.
+        candidates = [
+            g
+            for g in list_generations(directory)
+            if (directory / index_meta_filename(g)).exists()
+        ]
+        if not candidates:
+            raise SnapshotError(f"no index snapshot generations in {directory}")
+        generation = candidates[-1]
+    meta_path = directory / index_meta_filename(generation)
     if not meta_path.exists():
-        raise PageStoreError(f"no index snapshot in {directory}")
-    meta = json.loads(meta_path.read_text())
-    if meta.get("format_version") != INDEX_FORMAT_VERSION:
-        raise PageStoreError(
-            f"unsupported index snapshot format {meta.get('format_version')!r}"
+        raise SnapshotError(
+            f"snapshot directory {directory} has no index manifest for "
+            f"generation {generation} (missing {meta_path.name})"
+        )
+    try:
+        meta = json.loads(meta_path.read_text())
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise SnapshotError(
+            f"snapshot directory {directory}: index manifest {meta_path.name} "
+            f"is truncated or not valid JSON ({exc})"
+        ) from None
+    version = meta.get("format_version")
+    if version != INDEX_FORMAT_VERSION:
+        raise SnapshotError(
+            f"snapshot directory {directory}: index snapshot format "
+            f"{version!r} in {meta_path.name} does not match this build's "
+            f"{INDEX_FORMAT_VERSION}"
+        )
+    arrays_path = directory / index_arrays_filename(generation)
+    if not arrays_path.exists():
+        raise SnapshotError(
+            f"snapshot directory {directory}: missing index array bundle "
+            f"{arrays_path.name}"
         )
 
-    with np.load(directory / INDEX_ARRAYS_FILENAME) as bundle:
+    with np.load(arrays_path) as bundle:
         record_page = bundle["record_page"]
         record_slot = bundle["record_slot"]
         leaf_page_ids = [int(pid) for pid in bundle["leaf_page_ids"]]
@@ -123,8 +225,10 @@ def restore_index(directory, buffer=None, decoded=None):
         pointer_counts = bundle["pointer_counts"]
 
     # Leaf page id -> record ids in slot order, rebuilt from the record
-    # directory (one lexsort instead of a per-leaf scan).
-    order = np.lexsort((record_slot, record_page))
+    # directory (one lexsort instead of a per-leaf scan).  Records
+    # retired by merges carry a -1 leaf and are skipped.
+    alive = np.flatnonzero(record_page >= 0)
+    order = alive[np.lexsort((record_slot[alive], record_page[alive]))]
     boundaries = np.flatnonzero(np.diff(record_page[order])) + 1
     leaf_record_ids = {
         int(record_page[group[0]]): group
@@ -136,7 +240,10 @@ def restore_index(directory, buffer=None, decoded=None):
         for i, pid in enumerate(object_page_ids)
     }
 
-    store = FilePageStore.open(directory, buffer=buffer, decoded=decoded)
+    store = FilePageStore.open(
+        directory, generation=generation, buffer=buffer, decoded=decoded
+    )
+    seed_fanout = meta.get("seed_fanout")
     seed = SeedIndex(
         store,
         root_id=int(meta["seed_root_id"]),
@@ -145,6 +252,7 @@ def restore_index(directory, buffer=None, decoded=None):
         record_page=record_page,
         record_slot=record_slot,
         leaf_record_ids=leaf_record_ids,
+        fanout=None if seed_fanout is None else int(seed_fanout),
     )
     report_meta = meta.get("build_report", {})
     report = BuildReport(
@@ -156,10 +264,15 @@ def restore_index(directory, buffer=None, decoded=None):
         partition_count=int(report_meta.get("partition_count", 0)),
         pointer_counts=pointer_counts,
     )
+    element_count = int(meta["element_count"])
+    from repro.storage.constants import OBJECT_PAGE_CAPACITY
+
     return FLATIndex(
         store,
         seed,
         object_page_element_ids,
-        int(meta["element_count"]),
+        element_count,
         report,
+        page_capacity=int(meta.get("page_capacity", OBJECT_PAGE_CAPACITY)),
+        next_id=int(meta.get("next_element_id", element_count)),
     )

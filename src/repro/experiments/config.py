@@ -11,7 +11,7 @@ is untouched, so all per-page effects are at full fidelity.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from repro.query.benchmarks import SCALED_LSS_FRACTION, SCALED_SN_FRACTION
 from repro.rtree import PAPER_VARIANTS

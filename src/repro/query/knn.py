@@ -56,6 +56,10 @@ def expanding_radius_knn(
     point = np.asarray(point, dtype=np.float64).reshape(3)
     if k <= 0:
         raise ValueError(f"k must be positive, got {k}")
+    if element_count <= 0:
+        # A fully emptied (all elements deleted) index has nothing to
+        # confirm; the radius estimate below would divide by zero.
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64), 0
     volume = float(mbr_volume(cover))
     wanted = min(k, element_count)
     radius = 0.0

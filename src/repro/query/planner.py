@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.geometry.intersect import boxes_intersect_box, boxes_intersect_point
-from repro.geometry.mbr import mbr_distance_to_point, validate_mbrs
+from repro.geometry.mbr import mbr_distance_to_point, mbr_union, validate_mbrs
 
 
 @dataclass
@@ -52,6 +52,21 @@ class QueryPlanner:
     @property
     def shard_count(self) -> int:
         return len(self.shard_mbrs)
+
+    def widen_shard(self, shard_id: int, box: np.ndarray) -> None:
+        """Grow one shard's box to additionally enclose *box*.
+
+        The write path calls this when an insert routed to a shard
+        falls outside its current box: pruning is exact only while
+        every element MBR is contained in its shard's box, so the box
+        must widen before the element lands.  Boxes only ever grow —
+        a widened shard can be pruned less, never wrongly.
+        """
+        self.shard_mbrs[shard_id] = mbr_union(self.shard_mbrs[shard_id], box)
+
+    def copy(self) -> "QueryPlanner":
+        """An independent planner over copied shard boxes (for forks)."""
+        return QueryPlanner(self.shard_mbrs.copy())
 
     # -- routing -------------------------------------------------------
 

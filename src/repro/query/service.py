@@ -2,8 +2,8 @@
 
 The build/measure harness (:func:`repro.query.executor.run_queries`)
 is deliberately single-threaded — the paper's figures are per-query
-page-read counts.  Serving is the other regime: one immutable index,
-many concurrent readers, throughput as the metric.  ``QueryService``
+page-read counts.  Serving is the other regime: one index, many
+concurrent readers, throughput as the metric.  ``QueryService``
 bridges the two without giving up the accounting:
 
 * every worker thread lazily gets its **own** engine clone
@@ -24,10 +24,21 @@ bridges the two without giving up the accounting:
   cold-cache regime the totals reproduce the single-threaded harness
   exactly, shard pruning included.
 
+**Queries under updates.**  :meth:`QueryService.apply_updates` mutates
+the served index with snapshot isolation: the update batch is applied
+to a copy-on-write *fork* (:meth:`FLATIndex.fork
+<repro.core.flat_index.FLATIndex.fork>`) of the current generation, so
+in-flight queries keep crawling the untouched old generation; the
+commit then atomically swaps the service's current index, and worker
+threads pick up clones of the new generation on their next query.
+Every query executes entirely against the single generation captured
+when it was submitted — a result is never a torn mix of pre- and
+post-update state.
+
 Works with any engine exposing ``range_query`` plus ``store`` and
 ``with_store`` (or ``shards``/``planner``/``with_views`` for the
-sharded layout); the page payloads are immutable, so concurrent reads
-need no locking anywhere in the storage layer.
+sharded layout); page payloads of a published generation are immutable,
+so concurrent reads need no locking anywhere in the storage layer.
 """
 
 from __future__ import annotations
@@ -77,6 +88,27 @@ class ServiceReport:
         if self.wall_seconds <= 0.0:
             return float("nan")
         return self.query_count / self.wall_seconds
+
+
+@dataclass
+class UpdateReport:
+    """Outcome of one atomically committed update batch."""
+
+    #: Generation number the commit published.  The initial index is
+    #: generation 0, so the first commit reports 1.
+    version: int
+    #: Ids assigned to the batch's inserted elements.
+    inserted_ids: np.ndarray
+    #: Elements deleted by the batch.
+    deleted_count: int
+    #: Live elements after the commit.
+    element_count: int
+    #: Fork + mutate + commit wall time.
+    wall_seconds: float
+
+    @property
+    def update_count(self) -> int:
+        return len(self.inserted_ids) + self.deleted_count
 
 
 class GatherFuture:
@@ -130,17 +162,31 @@ class QueryService:
         each worker.
     """
 
+    #: Per-thread engine clones kept for superseded generations: tasks
+    #: submitted just before a commit may still arrive for an older
+    #: version, so a few stay warm before being dropped.
+    _KEPT_VERSIONS = 4
+
     def __init__(self, index, workers: int = 4, clear_cache_per_query: bool = True):
         if workers <= 0:
             raise ValueError(f"workers must be positive, got {workers}")
         self._index = index
+        self._version = 0
         self.worker_count = workers
         self.clear_cache_per_query = clear_cache_per_query
         self._sharded = hasattr(index, "shards") and hasattr(index, "with_views")
         self._local = threading.local()
         self._worker_states: list = []
+        #: Lifetime counters of retired clones (superseded generations)
+        #: plus the distinct threads that ever served, so retiring a
+        #: clone never loses accounting.
+        self._retired_stats = IOStats()
+        self._worker_threads: set = set()
         self._states_lock = threading.Lock()
         self._lifecycle_lock = threading.Lock()
+        #: Serializes apply_updates callers and guards the (version,
+        #: index) pair swap.
+        self._commit_lock = threading.Lock()
         self._pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="query-worker"
         )
@@ -148,45 +194,66 @@ class QueryService:
 
     # -- worker state ---------------------------------------------------
 
-    def _worker(self):
-        """This thread's (engine, store) pair, created on first use.
+    def _current(self) -> tuple:
+        """The (version, index) pair queries should be planned against."""
+        with self._commit_lock:
+            return self._version, self._index
+
+    def _worker(self, version: int, index):
+        """This thread's (engine, store) pair for one index generation.
 
         For a sharded index the engine is a full per-worker clone with
         one view per shard, and the store is the clone's
         :class:`~repro.storage.pagestore.PageStoreGroup` facade — so the
         batch-level stat aggregation is identical in both modes.
+        Clones are keyed by generation: a task that captured generation
+        *g* at submit time always executes on a clone of *g*, no matter
+        when a commit lands — that is the snapshot-isolation guarantee.
         """
-        state = getattr(self._local, "state", None)
+        states = getattr(self._local, "states", None)
+        if states is None:
+            states = self._local.states = {}
+        state = states.get(version)
         if state is None:
             if self._sharded:
-                clone = self._index.with_views()
+                clone = index.with_views()
                 state = (clone, clone.store)
             else:
-                store = self._index.store.view()
-                state = (self._index.with_store(store), store)
-            self._local.state = state
+                store = index.store.view()
+                state = (index.with_store(store), store)
+            states[version] = state
+            evicted = [v for v in states if v <= version - self._KEPT_VERSIONS]
             with self._states_lock:
                 self._worker_states.append(state)
+                self._worker_threads.add(threading.get_ident())
+                for stale in evicted:
+                    # Retired clones must not pin memory forever, but
+                    # their lifetime counters stay part of the totals.
+                    stale_state = states.pop(stale)
+                    self._retired_stats.merge(stale_state[1].stats)
+                    self._worker_states.remove(stale_state)
         return state
 
-    def _execute(self, query: np.ndarray) -> np.ndarray:
-        engine, store = self._worker()
+    def _execute(self, version: int, index, query: np.ndarray) -> np.ndarray:
+        engine, store = self._worker(version, index)
         if self.clear_cache_per_query:
             store.clear_cache()
         return engine.range_query(query)
 
-    def _execute_shard(self, shard_id: int, query: np.ndarray) -> np.ndarray:
+    def _execute_shard(self, version: int, index, shard_id: int,
+                       query: np.ndarray) -> np.ndarray:
         """One scatter task: crawl a single shard on this worker's view."""
-        engine, _store = self._worker()
+        engine, _store = self._worker(version, index)
         shard = engine.shards[shard_id]
         if self.clear_cache_per_query:
             shard.store.clear_cache()
         local = shard.index.range_query(query)
         return shard.to_global(local) if local.size else local
 
-    def _execute_knn(self, point: np.ndarray, k: int) -> tuple:
+    def _execute_knn(self, version: int, index, point: np.ndarray,
+                     k: int) -> tuple:
         """One kNN task; also returns the clone's plan (sharded engines)."""
-        engine, store = self._worker()
+        engine, store = self._worker(version, index)
         if self.clear_cache_per_query:
             store.clear_cache()
         hits = engine.knn_query(point, k)
@@ -212,11 +279,12 @@ class QueryService:
         """
         self._check_open()
         query = np.asarray(query, dtype=np.float64)
+        version, index = self._current()
         if not self._sharded:
-            return self._pool.submit(self._execute, query)
-        shard_ids = self._index.planner.shards_for_box(query)
+            return self._pool.submit(self._execute, version, index, query)
+        shard_ids = index.planner.shards_for_box(query)
         futures = [
-            self._pool.submit(self._execute_shard, int(sid), query)
+            self._pool.submit(self._execute_shard, version, index, int(sid), query)
             for sid in shard_ids
         ]
         return GatherFuture(futures, self._merge_shard_parts)
@@ -233,17 +301,21 @@ class QueryService:
         queries = np.asarray(queries, dtype=np.float64)
         if queries.ndim != 2 or queries.shape[1] != 6:
             raise ValueError(f"expected (N, 6) query boxes, got {queries.shape}")
+        version, index = self._current()
         report = ServiceReport(
-            index_name=index_name or type(self._index).__name__,
+            index_name=index_name or type(index).__name__,
             worker_count=self.worker_count,
         )
         before = self._snapshot_worker_stats()
 
         t0 = time.perf_counter()
         if self._sharded:
-            results = self._run_scatter_gather(queries, report)
+            results = self._run_scatter_gather(version, index, queries, report)
         else:
-            futures = [self._pool.submit(self._execute, query) for query in queries]
+            futures = [
+                self._pool.submit(self._execute, version, index, query)
+                for query in queries
+            ]
             results = [future.result() for future in futures]
         report.wall_seconds = time.perf_counter() - t0
 
@@ -265,14 +337,18 @@ class QueryService:
             raise ValueError(f"expected (N, 3) points, got {points.shape}")
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
+        version, index = self._current()
         report = ServiceReport(
-            index_name=index_name or type(self._index).__name__,
+            index_name=index_name or type(index).__name__,
             worker_count=self.worker_count,
         )
         before = self._snapshot_worker_stats()
 
         t0 = time.perf_counter()
-        futures = [self._pool.submit(self._execute_knn, p, k) for p in points]
+        futures = [
+            self._pool.submit(self._execute_knn, version, index, p, k)
+            for p in points
+        ]
         results = []
         for future in futures:
             hits, plan = future.result()
@@ -288,10 +364,11 @@ class QueryService:
         self._aggregate_batch_stats(report, before)
         return report
 
-    def _run_scatter_gather(self, queries, report: ServiceReport) -> list:
+    def _run_scatter_gather(self, version: int, index, queries,
+                            report: ServiceReport) -> list:
         """Dispatch one task per (query, touched shard); gather in order."""
-        planner = self._index.planner
-        shard_count = len(self._index.shards)
+        planner = index.planner
+        shard_count = len(index.shards)
         scattered = []
         for query in queries:
             shard_ids = planner.shards_for_box(query)
@@ -299,7 +376,9 @@ class QueryService:
             report.shards_pruned += shard_count - len(shard_ids)
             scattered.append(
                 [
-                    self._pool.submit(self._execute_shard, int(sid), query)
+                    self._pool.submit(
+                        self._execute_shard, version, index, int(sid), query
+                    )
                     for sid in shard_ids
                 ]
             )
@@ -308,21 +387,86 @@ class QueryService:
             for futures in scattered
         ]
 
+    # -- updates --------------------------------------------------------
+
+    def apply_updates(self, inserts=None, delete_ids=None) -> UpdateReport:
+        """Atomically apply an insert+delete batch with snapshot isolation.
+
+        The batch mutates a copy-on-write fork of the current
+        generation, so every query in flight keeps reading the old,
+        untouched generation; once the fork is fully updated the commit
+        swaps it in as the new current index.  Queries submitted after
+        the swap see all of the batch, queries submitted before see
+        none of it — never a torn mix.  Updates are expected to flow
+        through a single updater: a second ``apply_updates`` racing a
+        commit is detected and rejected with ``RuntimeError`` (its
+        batch is discarded, never silently merged or dropped).  Each
+        commit bumps the published version.
+        """
+        self._check_open()
+        if not hasattr(self._index, "fork"):
+            raise RuntimeError(
+                f"{type(self._index).__name__} does not support updates "
+                "(no fork()); serve a FLAT or sharded FLAT index"
+            )
+        with self._commit_lock:
+            base = self._index
+        t0 = time.perf_counter()
+        fork = base.fork()
+        inserted = np.empty(0, dtype=np.int64)
+        if inserts is not None and len(inserts):
+            inserted = fork.insert(inserts)
+        deleted = 0
+        if delete_ids is not None and len(delete_ids):
+            fork.delete(delete_ids)
+            deleted = len(delete_ids)
+        with self._commit_lock:
+            if self._index is not base:
+                # A concurrent commit slipped in between fork and swap;
+                # its updates would be silently dropped by publishing
+                # this fork.  Serialize apply_updates callers instead.
+                raise RuntimeError(
+                    "concurrent apply_updates detected; serialize update "
+                    "batches through a single updater"
+                )
+            self._index = fork
+            self._version += 1
+            version = self._version
+        return UpdateReport(
+            version=version,
+            inserted_ids=inserted,
+            deleted_count=deleted,
+            element_count=fork.element_count,
+            wall_seconds=time.perf_counter() - t0,
+        )
+
     # -- accounting -----------------------------------------------------
 
     def _snapshot_worker_stats(self) -> dict:
+        """Per-store counter snapshots, keyed by the store objects.
+
+        The stores themselves are the keys (not ``id(store)``): the
+        strong references keep a store diffable for the whole batch
+        even if a racing commit evicts its clone mid-batch, and a
+        recycled object id can never alias another store's snapshot.
+        """
         with self._states_lock:
             return {
-                id(store): store.stats.snapshot()
+                store: store.stats.snapshot()
                 for _engine, store in self._worker_states
             }
 
     def _aggregate_batch_stats(self, report: ServiceReport, before: dict) -> None:
         delta = IOStats()
         with self._states_lock:
-            states = list(self._worker_states)
-        for _engine, store in states:
-            prior = before.get(id(store))
+            stores = [store for _engine, store in self._worker_states]
+        # Union of the stores alive now and the stores alive at batch
+        # start: clones evicted mid-batch still contribute their delta.
+        for store in before:
+            if store not in stores:
+                stores.append(store)
+        for store in stores:
+            prior = before.get(store)
             worker_delta = store.stats.diff(prior) if prior else store.stats
             if worker_delta.total_reads or worker_delta.cache_hits:
                 report.workers_used += 1
@@ -334,19 +478,33 @@ class QueryService:
     # -- introspection --------------------------------------------------
 
     def aggregate_stats(self) -> IOStats:
-        """Lifetime I/O counters merged across every worker view."""
+        """Lifetime I/O counters merged across every worker view.
+
+        Includes the counters of clones retired by update commits.
+        """
         total = IOStats()
         with self._states_lock:
             states = list(self._worker_states)
+            total.merge(self._retired_stats)
         for _engine, store in states:
             total.merge(store.stats)
         return total
 
     @property
+    def current_version(self) -> int:
+        """Generation number of the currently served index (0 initially)."""
+        with self._commit_lock:
+            return self._version
+
+    @property
     def workers_started(self) -> int:
-        """Worker threads that have served at least one query ever."""
+        """Worker threads that have served at least one query ever.
+
+        Counts distinct threads, not engine clones — a thread that
+        rebuilt its clone across update generations still counts once.
+        """
         with self._states_lock:
-            return len(self._worker_states)
+            return len(self._worker_threads)
 
     @property
     def closed(self) -> bool:

@@ -51,13 +51,18 @@ from repro.storage.decoded_cache import (
 from repro.storage.diskmodel import DiskModel
 from repro.storage.pagestore import (
     MemoryPageBackend,
+    OverlayPageBackend,
     PageStore,
     PageStoreError,
     PageStoreGroup,
+    SnapshotError,
 )
 from repro.storage.filestore import (
     FilePageBackend,
     FilePageStore,
+    latest_generation,
+    list_generations,
+    manifest_filename,
     write_store_snapshot,
 )
 
@@ -80,9 +85,14 @@ __all__ = [
     "NODE_ENTRY_BYTES",
     "NODE_FANOUT",
     "OBJECT_PAGE_CAPACITY",
+    "OverlayPageBackend",
     "PAGE_SIZE",
     "PageStore",
     "PageStoreError",
     "PageStoreGroup",
+    "SnapshotError",
+    "latest_generation",
+    "list_generations",
+    "manifest_filename",
     "write_store_snapshot",
 ]

@@ -57,6 +57,10 @@ class BufferPool:
             self.evictions += 1
         self._pages[page_id] = page
 
+    def discard(self, page_id) -> None:
+        """Drop one cached page if present (write-path invalidation)."""
+        self._pages.pop(page_id, None)
+
     def clear(self) -> None:
         """Drop every cached page (the paper's cache clearing step)."""
         self._pages.clear()

@@ -9,9 +9,10 @@ actually touched.  :class:`DecodedPageCache` memoizes the decoded form
 per page id, turning repeated decodes into dictionary hits.
 
 Decoded objects are shared between callers and must be treated as
-read-only (all index structures are bulkloaded and immutable, so no
-writer ever invalidates a single entry; :meth:`clear` drops everything,
-mirroring the paper's between-query cache clearing).
+read-only.  The write path invalidates single entries through
+:meth:`DecodedPageCache.discard` when a page is rewritten in place;
+:meth:`clear` drops everything, mirroring the paper's between-query
+cache clearing.
 """
 
 from __future__ import annotations
@@ -55,6 +56,11 @@ class DecodedPageCache:
         decoded = decoder(payload)
         self._pool.put(key, decoded)
         return decoded
+
+    def discard(self, page_id: int) -> None:
+        """Drop any decoded form of one page (write-path invalidation)."""
+        self._pool.discard((DECODE_METADATA, page_id))
+        self._pool.discard((DECODE_ELEMENT, page_id))
 
     def clear(self) -> None:
         """Drop every decoded page (paired with buffer-pool clearing)."""

@@ -1,15 +1,35 @@
-"""File-backed page storage: one on-disk file, read through ``mmap``.
+"""File-backed page storage: one data file, versioned copy-on-write manifests.
 
 The in-memory :class:`~repro.storage.pagestore.PageStore` is perfect
 for build-and-measure experiments but every run pays the full bulkload.
-This module is the build-once/reopen-many half of the storage layer: a
-:class:`FilePageBackend` keeps all pages concatenated in a single data
-file (``pages.dat``), with a one-byte-per-page category sidecar
-(``categories.bin``) and a JSON manifest, so a snapshot directory is
-self-describing.  Opened read-only, the data file is mapped with
-:mod:`mmap` and page reads are slices of the mapping — the OS page
-cache does the heavy lifting, and any number of serving workers can
-share one mapping through stat-isolated :meth:`PageStore.view` stores.
+This module is the durable half of the storage layer, now with a write
+path:
+
+* ``pages.dat`` is strictly **append-only**: every allocation *and
+  every rewrite* appends a new physical page.  A logical page id is
+  mapped to its current physical slot through a **page-translation
+  table**, so rewriting page 7 appends its new payload and repoints the
+  table entry — the old physical page is never touched (append-redirect).
+* A **snapshot** publishes a numbered manifest generation
+  (``manifest-000000.json``, ``manifest-000001.json``, ...) holding the
+  translation table of that moment.  Generations are copy-on-write:
+  physical pages never change once written, so every older manifest
+  keeps describing a fully consistent store and unchanged pages are
+  shared byte-for-byte between generations.  The manifest is written to
+  a temp file and atomically renamed, so a partial write never
+  publishes — a crash mid-snapshot leaves garbage at the tail of
+  ``pages.dat`` that no manifest references.
+* :meth:`FilePageBackend.open` maps the committed prefix of the data
+  file read-only with :mod:`mmap` and serves page reads as slices of
+  the mapping; it loads the **latest** generation by default and any
+  older one via ``generation=``.
+
+A one-byte-per-logical-page category sidecar (``categories.bin``)
+completes the directory; logical pages never change category, so the
+sidecar is append-only in content and any generation reads a prefix of
+it.  Malformed or incomplete directories surface as
+:class:`~repro.storage.pagestore.SnapshotError` naming the directory
+and the problem.
 
 Accounting semantics are identical to the memory store: the backend
 only supplies bytes; buffer pool, decoded-page cache and per-category
@@ -21,99 +41,228 @@ from __future__ import annotations
 import json
 import mmap
 import os
+import re
 from pathlib import Path
 
 from repro.storage.buffer import BufferPool
 from repro.storage.constants import PAGE_SIZE
 from repro.storage.decoded_cache import DecodedPageCache
-from repro.storage.pagestore import PageStore, PageStoreError
+from repro.storage.pagestore import PageStore, PageStoreError, SnapshotError
 from repro.storage.stats import ALL_CATEGORIES
 
 #: Files making up one on-disk page store.
 PAGES_FILENAME = "pages.dat"
 CATEGORIES_FILENAME = "categories.bin"
-MANIFEST_FILENAME = "manifest.json"
 
-#: Bumped on any incompatible change to the directory layout.
-STORE_FORMAT_VERSION = 1
+#: Bumped on any incompatible change to the directory layout.  Version 2
+#: introduced numbered manifest generations and the page-translation
+#: table (version-1 directories had a single flat ``manifest.json``).
+STORE_FORMAT_VERSION = 2
 
 _CATEGORY_CODE = {name: code for code, name in enumerate(ALL_CATEGORIES)}
+_MANIFEST_RE = re.compile(r"manifest-(\d{6})\.json$")
+
+
+def manifest_filename(generation: int) -> str:
+    """The manifest file name of one snapshot generation."""
+    if generation < 0:
+        raise ValueError(f"generation must be non-negative, got {generation}")
+    return f"manifest-{generation:06d}.json"
+
+
+def list_generations(directory) -> list:
+    """All published snapshot generations in *directory*, ascending."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    found = []
+    for entry in directory.iterdir():
+        match = _MANIFEST_RE.fullmatch(entry.name)
+        if match:
+            found.append(int(match.group(1)))
+    return sorted(found)
+
+
+def latest_generation(directory):
+    """The newest published generation in *directory*, or ``None``."""
+    generations = list_generations(directory)
+    return generations[-1] if generations else None
+
+
+def _load_manifest(directory: Path, generation: int) -> dict:
+    """Read and structurally validate one generation's manifest."""
+    path = directory / manifest_filename(generation)
+    if not path.exists():
+        raise SnapshotError(
+            f"snapshot directory {directory} has no generation {generation} "
+            f"(missing {path.name})"
+        )
+    try:
+        manifest = json.loads(path.read_text())
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise SnapshotError(
+            f"snapshot directory {directory}: manifest {path.name} is "
+            f"truncated or not valid JSON ({exc})"
+        ) from None
+    if not isinstance(manifest, dict):
+        raise SnapshotError(
+            f"snapshot directory {directory}: manifest {path.name} does not "
+            "hold a JSON object"
+        )
+    version = manifest.get("format_version")
+    if version != STORE_FORMAT_VERSION:
+        raise SnapshotError(
+            f"snapshot directory {directory}: store format version {version!r} "
+            f"in {path.name} does not match this build's {STORE_FORMAT_VERSION}"
+        )
+    if manifest.get("page_size") != PAGE_SIZE:
+        raise SnapshotError(
+            f"snapshot directory {directory}: store was written with "
+            f"{manifest.get('page_size')}-byte pages, this build uses {PAGE_SIZE}"
+        )
+    for key in ("page_count", "physical_page_count", "page_table"):
+        if key not in manifest:
+            raise SnapshotError(
+                f"snapshot directory {directory}: manifest {path.name} is "
+                f"missing the {key!r} field"
+            )
+    return manifest
 
 
 class FilePageBackend:
-    """Page payloads in a single on-disk file.
+    """Page payloads in a single append-only data file.
 
     Two modes:
 
-    * :meth:`create` — appends pages to the data file as they are
-      allocated (reads go through :func:`os.pread`, so build-time
-      read-back works); :meth:`flush` persists the category sidecar and
-      manifest, making the directory reopenable.
-    * :meth:`open` — maps the data file read-only through :mod:`mmap`.
-      Page reads are slices of the mapping, safely shareable between
-      any number of stores and threads; :meth:`append` is rejected.
+    * :meth:`create` — appends physical pages to the data file as pages
+      are allocated or rewritten (reads go through :func:`os.pread`, so
+      build-time read-back works); :meth:`commit_generation` publishes
+      the current translation table as a new numbered manifest.
+    * :meth:`open` — maps the committed prefix of the data file
+      read-only through :mod:`mmap`, for the latest generation or an
+      explicitly requested older one.  Page reads are slices of the
+      mapping, safely shareable between any number of stores and
+      threads; :meth:`append`/:meth:`rewrite` are rejected.
     """
 
-    def __init__(self, directory: Path, writable: bool, categories: list):
+    def __init__(self, directory: Path, writable: bool, categories: list,
+                 table: list, physical_count: int, generation):
         self.directory = directory
         self.writable = writable
+        #: Latest published generation, or ``None`` before the first commit.
+        self.generation = generation
         self._categories = categories
+        #: Logical page id -> physical slot in ``pages.dat``.
+        self._table = table
+        #: Physical pages written so far (committed or not).
+        self._physical_count = physical_count
         self._file = None
         self._mmap = None
         self._closed = False
-        #: Buffered appends not yet visible to ``os.pread``.
+        #: Appends/rewrites not yet visible to ``os.pread``.
         self._unflushed_writes = False
+        #: Appends/rewrites since the last published generation.
+        self._dirty = False
 
     # -- constructors --------------------------------------------------
 
     @classmethod
     def create(cls, directory) -> "FilePageBackend":
-        """Start a new writable on-disk store in *directory*."""
+        """Start a new writable on-disk store in *directory*.
+
+        Refuses a directory that already holds published generations:
+        ``pages.dat`` would be truncated, invalidating every manifest
+        that references its pages.
+        """
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
-        backend = cls(directory, writable=True, categories=[])
+        existing = latest_generation(directory)
+        if existing is not None:
+            raise PageStoreError(
+                f"{directory} already holds a page store (generation "
+                f"{existing}); creating would truncate its pages"
+            )
+        backend = cls(
+            directory,
+            writable=True,
+            categories=[],
+            table=[],
+            physical_count=0,
+            generation=None,
+        )
         backend._file = open(directory / PAGES_FILENAME, "wb+")
         return backend
 
     @classmethod
-    def open(cls, directory) -> "FilePageBackend":
-        """Map an existing on-disk store read-only."""
+    def open(cls, directory, generation=None) -> "FilePageBackend":
+        """Map an on-disk store read-only, latest generation by default."""
         directory = Path(directory)
-        manifest_path = directory / MANIFEST_FILENAME
-        if not manifest_path.exists():
-            raise PageStoreError(f"no page-store manifest in {directory}")
-        manifest = json.loads(manifest_path.read_text())
-        if manifest.get("format_version") != STORE_FORMAT_VERSION:
-            raise PageStoreError(
-                f"unsupported store format {manifest.get('format_version')!r}"
-            )
-        if manifest.get("page_size") != PAGE_SIZE:
-            raise PageStoreError(
-                f"store was written with {manifest.get('page_size')}-byte pages, "
-                f"this build uses {PAGE_SIZE}"
-            )
+        if generation is None:
+            generation = latest_generation(directory)
+            if generation is None:
+                raise SnapshotError(
+                    f"no page-store manifest generations in {directory}"
+                )
+        manifest = _load_manifest(directory, generation)
         page_count = int(manifest["page_count"])
-        codes = (directory / CATEGORIES_FILENAME).read_bytes()
-        if len(codes) != page_count:
-            raise PageStoreError(
-                f"category sidecar has {len(codes)} entries for "
-                f"{page_count} pages"
+        physical_count = int(manifest["physical_page_count"])
+        table = [int(slot) for slot in manifest["page_table"]]
+        if len(table) != page_count:
+            raise SnapshotError(
+                f"snapshot directory {directory}: page table holds "
+                f"{len(table)} entries for {page_count} pages"
+            )
+        if any(not 0 <= slot < physical_count for slot in table):
+            raise SnapshotError(
+                f"snapshot directory {directory}: page table references a "
+                f"physical slot outside the committed {physical_count} pages"
+            )
+        sidecar = directory / CATEGORIES_FILENAME
+        if not sidecar.exists():
+            raise SnapshotError(
+                f"snapshot directory {directory}: missing category sidecar "
+                f"{CATEGORIES_FILENAME}"
+            )
+        codes = sidecar.read_bytes()
+        if len(codes) < page_count:
+            raise SnapshotError(
+                f"snapshot directory {directory}: category sidecar has "
+                f"{len(codes)} entries for {page_count} pages"
             )
         try:
-            categories = [ALL_CATEGORIES[code] for code in codes]
+            categories = [ALL_CATEGORIES[code] for code in codes[:page_count]]
         except IndexError:
-            raise PageStoreError("corrupt category sidecar") from None
-        backend = cls(directory, writable=False, categories=categories)
-        backend._file = open(directory / PAGES_FILENAME, "rb")
-        size = os.fstat(backend._file.fileno()).st_size
-        if size != page_count * PAGE_SIZE:
-            backend._file.close()
-            raise PageStoreError(
-                f"data file holds {size} bytes, expected {page_count * PAGE_SIZE}"
+            raise SnapshotError(
+                f"snapshot directory {directory}: corrupt category sidecar"
+            ) from None
+        backend = cls(
+            directory,
+            writable=False,
+            categories=categories,
+            table=table,
+            physical_count=physical_count,
+            generation=generation,
+        )
+        data_path = directory / PAGES_FILENAME
+        if not data_path.exists():
+            raise SnapshotError(
+                f"snapshot directory {directory}: missing data file "
+                f"{PAGES_FILENAME}"
             )
-        if page_count:
+        backend._file = open(data_path, "rb")
+        size = os.fstat(backend._file.fileno()).st_size
+        needed = physical_count * PAGE_SIZE
+        if size < needed:
+            backend._file.close()
+            raise SnapshotError(
+                f"snapshot directory {directory}: data file holds {size} "
+                f"bytes, generation {generation} needs {needed}"
+            )
+        if physical_count:
+            # Map exactly the committed prefix; uncommitted tail pages
+            # from a later aborted snapshot stay invisible.
             backend._mmap = mmap.mmap(
-                backend._file.fileno(), size, access=mmap.ACCESS_READ
+                backend._file.fileno(), needed, access=mmap.ACCESS_READ
             )
         return backend
 
@@ -124,14 +273,47 @@ class FilePageBackend:
         if not self.writable:
             raise PageStoreError("store was opened read-only")
         page_id = len(self._categories)
-        self._file.write(payload)
-        self._unflushed_writes = True
+        self._write_physical(payload)
+        self._table.append(self._physical_count - 1)
         self._categories.append(category)
         return page_id
 
+    def rewrite(self, page_id: int, payload: bytes) -> None:
+        """Append-redirect: new physical page, repointed table entry."""
+        self._check_open()
+        if not self.writable:
+            raise PageStoreError("store was opened read-only")
+        self._write_physical(payload)
+        self._table[page_id] = self._physical_count - 1
+
+    def _write_physical(self, payload: bytes) -> None:
+        self._file.write(payload)
+        self._physical_count += 1
+        self._unflushed_writes = True
+        self._dirty = True
+
+    def fork(self):
+        """Copy-on-write clone of a *read-only* backend (RAM overlay).
+
+        The mmap-backed base keeps serving unchanged pages; appends and
+        rewrites on the fork live in the overlay.  Writable backends
+        cannot fork — their translation table may still change under
+        the overlay — so publish a generation and fork the reopened
+        store instead.
+        """
+        from repro.storage.pagestore import OverlayPageBackend
+
+        self._check_open()
+        if self.writable:
+            raise PageStoreError(
+                "cannot fork a writable file backend; publish a snapshot "
+                "generation and fork the reopened (read-only) store"
+            )
+        return OverlayPageBackend(self)
+
     def payload(self, page_id: int) -> bytes:
         self._check_open()
-        offset = page_id * PAGE_SIZE
+        offset = self._table[page_id] * PAGE_SIZE
         if self._mmap is not None:
             return self._mmap[offset:offset + PAGE_SIZE]
         if self._unflushed_writes:
@@ -150,23 +332,52 @@ class FilePageBackend:
 
     # -- persistence ---------------------------------------------------
 
-    def flush(self) -> None:
-        """Persist the category sidecar and manifest (writable mode)."""
+    def commit_generation(self) -> int:
+        """Publish the current state as the next snapshot generation.
+
+        Data and sidecar are flushed first; the numbered manifest is
+        written to a temp file and atomically renamed, so either the
+        new generation exists completely or not at all.  Returns the
+        new generation number.
+        """
         self._check_open()
         if not self.writable:
-            return
+            raise PageStoreError("store was opened read-only")
         self._file.flush()
         self._unflushed_writes = False
+        # The sidecar is replaced atomically too: a truncating in-place
+        # write would corrupt every previously published generation if
+        # the process died mid-write (older manifests read a prefix of
+        # this file).
         codes = bytes(_CATEGORY_CODE[c] for c in self._categories)
-        (self.directory / CATEGORIES_FILENAME).write_bytes(codes)
+        sidecar = self.directory / CATEGORIES_FILENAME
+        sidecar_scratch = self.directory / (CATEGORIES_FILENAME + ".tmp")
+        sidecar_scratch.write_bytes(codes)
+        os.replace(sidecar_scratch, sidecar)
+        generation = 0 if self.generation is None else self.generation + 1
         manifest = {
             "format_version": STORE_FORMAT_VERSION,
             "page_size": PAGE_SIZE,
+            "generation": generation,
             "page_count": len(self._categories),
+            "physical_page_count": self._physical_count,
+            "page_table": list(self._table),
         }
-        (self.directory / MANIFEST_FILENAME).write_text(
-            json.dumps(manifest, indent=2) + "\n"
-        )
+        target = self.directory / manifest_filename(generation)
+        scratch = target.parent / (target.name + ".tmp")
+        scratch.write_text(json.dumps(manifest) + "\n")
+        os.replace(scratch, target)
+        self.generation = generation
+        self._dirty = False
+        return generation
+
+    def flush(self) -> None:
+        """Publish a generation if anything changed since the last one."""
+        self._check_open()
+        if not self.writable:
+            return
+        if self._dirty or self.generation is None:
+            self.commit_generation()
 
     def close(self) -> None:
         """Flush (if writable) and release the file/mapping."""
@@ -177,12 +388,12 @@ class FilePageBackend:
         self._release()
 
     def discard(self) -> None:
-        """Release the file *without* publishing the sidecar/manifest.
+        """Release the file *without* publishing a new generation.
 
-        Called when writing a store is abandoned mid-way: the manifest
-        is only ever written by a successful :meth:`flush`/:meth:`close`,
-        so a partial directory stays unopenable instead of silently
-        passing :meth:`open`'s consistency checks with fewer pages.
+        Called when writing a store is abandoned mid-way: generations
+        are only ever published by :meth:`commit_generation`, so the
+        uncommitted tail of ``pages.dat`` stays unreachable instead of
+        silently passing :meth:`open`'s consistency checks.
         """
         if not self._closed:
             self._release()
@@ -207,8 +418,10 @@ class FilePageStore(PageStore):
     Same category-tagged accounting, buffer pool and decoded-page cache
     as the memory store — only the byte backend differs.  Use
     :meth:`create` to build a new store on disk and :meth:`open` to map
-    an existing one read-only; :meth:`PageStore.view` hands out
-    stat-isolated stores over the same mapping for concurrent readers.
+    a published generation read-only (the latest by default);
+    :meth:`PageStore.view` hands out stat-isolated stores over the same
+    mapping for concurrent readers, and :meth:`PageStore.fork` gives a
+    mutable copy-on-write overlay of a read-only store.
     """
 
     def __init__(
@@ -224,12 +437,22 @@ class FilePageStore(PageStore):
         return cls(FilePageBackend.create(directory), buffer, decoded)
 
     @classmethod
-    def open(cls, directory, buffer=None, decoded=None) -> "FilePageStore":
-        return cls(FilePageBackend.open(directory), buffer, decoded)
+    def open(cls, directory, generation=None, buffer=None,
+             decoded=None) -> "FilePageStore":
+        return cls(FilePageBackend.open(directory, generation), buffer, decoded)
 
     @property
     def directory(self) -> Path:
         return self.backend.directory
+
+    @property
+    def generation(self):
+        """Latest published generation, or ``None`` before the first."""
+        return self.backend.generation
+
+    def snapshot(self) -> int:
+        """Publish the current pages as a new numbered generation."""
+        return self.backend.commit_generation()
 
     def flush(self) -> None:
         self.backend.flush()
@@ -258,7 +481,8 @@ def write_store_snapshot(store: PageStore, directory) -> Path:
 
     Pages are read silently (no I/O accounting — snapshotting is not a
     query) and land in the same page-id order, so pointers baked into
-    index structures stay valid verbatim in the reopened store.
+    index structures stay valid verbatim in the reopened store.  The
+    copy is published as generation 0 of the target directory.
     """
     directory = Path(directory)
     source_dir = getattr(store.backend, "directory", None)

@@ -1,9 +1,23 @@
-"""The simulated disk: an append-only store of fixed-size pages.
+"""The simulated disk: a store of fixed-size pages with a write path.
 
-Pages are immutable once allocated (all index structures in the paper
-are bulkloaded; Sec. IV: "we focus on developing a bulkloading approach
-and do not consider updates").  Reads are counted per page *category*
-unless absorbed by the attached buffer pool.
+The paper's indexes are bulkloaded (Sec. IV: "we focus on developing a
+bulkloading approach and do not consider updates"), so allocation is
+append-only and a freshly built store is never mutated while its
+figures are measured.  On top of that read-only substrate this module
+grows an *update surface*:
+
+* :meth:`PageStore.rewrite` replaces the payload of an existing page
+  (category unchanged), invalidating the store's own caches;
+* ``fork()`` produces a copy-on-write clone of a backend — unchanged
+  page payloads are shared (``bytes`` are immutable), rewrites on the
+  fork never touch the original — which is what versioned serving
+  builds its snapshot isolation on;
+* :class:`OverlayPageBackend` adds the same copy-on-write semantics
+  over a *read-only* base (e.g. an ``mmap``-backed snapshot), keeping
+  rewrites and appends in RAM while base pages stay on disk.
+
+Reads are counted per page *category* unless absorbed by the attached
+buffer pool.
 """
 
 from __future__ import annotations
@@ -21,6 +35,16 @@ from repro.storage.stats import ALL_CATEGORIES, IOStats
 
 class PageStoreError(Exception):
     """Raised for invalid page ids, payload sizes, or categories."""
+
+
+class SnapshotError(PageStoreError):
+    """A snapshot directory is missing, incomplete, or malformed.
+
+    Raised by the file store's :meth:`~repro.storage.filestore.FilePageBackend.open`
+    and the index-level ``restore`` paths instead of surfacing raw
+    ``KeyError``/``FileNotFoundError``; the message always names the
+    directory and what exactly is malformed.
+    """
 
 
 class MemoryPageBackend:
@@ -47,6 +71,26 @@ class MemoryPageBackend:
         self._categories.append(category)
         return page_id
 
+    def rewrite(self, page_id: int, payload: bytes) -> None:
+        """Replace one page's payload in place (category unchanged).
+
+        ``bytes`` payloads are immutable, so rebinding the slot never
+        mutates bytes a :meth:`fork` sibling may still be reading.
+        """
+        self._pages[page_id] = payload
+
+    def fork(self) -> "MemoryPageBackend":
+        """A copy-on-write clone sharing every current page payload.
+
+        Only the id -> payload lists are copied (O(pages) pointer
+        copies); the payloads themselves are shared immutable ``bytes``.
+        Appends and rewrites on either side are invisible to the other.
+        """
+        clone = MemoryPageBackend()
+        clone._pages = list(self._pages)
+        clone._categories = list(self._categories)
+        return clone
+
     def payload(self, page_id: int) -> bytes:
         """The raw bytes of a page (bounds already checked by the store)."""
         return self._pages[page_id]
@@ -60,6 +104,80 @@ class MemoryPageBackend:
 
     def __len__(self) -> int:
         return len(self._pages)
+
+
+class OverlayPageBackend:
+    """Copy-on-write page backend over a read-only base backend.
+
+    Rewrites of base pages land in an in-RAM override table and appends
+    accumulate in an in-RAM tail, while unmodified pages keep being
+    served by the base (typically a read-only ``mmap``-backed
+    :class:`~repro.storage.filestore.FilePageBackend`).  This is how a
+    restored snapshot becomes mutable without copying its pages: the
+    serving layer forks a restored index, applies updates to the
+    overlay, and commits by swapping readers to the forked store.
+
+    Forking an overlay again copies only the override/tail tables; the
+    base is shared by every generation in the chain.
+    """
+
+    writable = True
+
+    def __init__(self, base):
+        if getattr(base, "writable", False):
+            raise PageStoreError(
+                "an overlay needs a read-only base backend (a writable base "
+                "could change pages underneath the overlay)"
+            )
+        self._base = base
+        self._base_len = len(base)
+        #: base page id -> replacement payload (only rewritten pages).
+        self._overrides: dict = {}
+        #: Payloads of pages appended past the base (ids >= _base_len).
+        self._tail: list = []
+        self._tail_categories: list = []
+
+    def append(self, payload: bytes, category: str) -> int:
+        page_id = self._base_len + len(self._tail)
+        self._tail.append(payload)
+        self._tail_categories.append(category)
+        return page_id
+
+    def rewrite(self, page_id: int, payload: bytes) -> None:
+        if page_id >= self._base_len:
+            self._tail[page_id - self._base_len] = payload
+        else:
+            self._overrides[page_id] = payload
+
+    def fork(self) -> "OverlayPageBackend":
+        """A copy-on-write clone: same base, copied override/tail tables."""
+        clone = OverlayPageBackend.__new__(OverlayPageBackend)
+        clone._base = self._base
+        clone._base_len = self._base_len
+        clone._overrides = dict(self._overrides)
+        clone._tail = list(self._tail)
+        clone._tail_categories = list(self._tail_categories)
+        return clone
+
+    def payload(self, page_id: int) -> bytes:
+        if page_id >= self._base_len:
+            return self._tail[page_id - self._base_len]
+        override = self._overrides.get(page_id)
+        if override is not None:
+            return override
+        return self._base.payload(page_id)
+
+    def category(self, page_id: int) -> str:
+        if page_id >= self._base_len:
+            return self._tail_categories[page_id - self._base_len]
+        return self._base.category(page_id)
+
+    def iter_categories(self):
+        yield from self._base.iter_categories()
+        yield from self._tail_categories
+
+    def __len__(self) -> int:
+        return self._base_len + len(self._tail)
 
 
 class PageStoreGroup:
@@ -179,6 +297,52 @@ class PageStore:
         page_id = self.backend.append(payload, category)
         self.stats.record_write(category)
         return page_id
+
+    def rewrite(self, page_id: int, payload: bytes) -> None:
+        """Replace an existing page's payload (its category is kept).
+
+        The write is charged to the page's category and this store's
+        own buffer/decoded caches are invalidated for the page.  Sibling
+        :meth:`view` stores are *not* invalidated — concurrent readers
+        are expected to serve from an immutable generation and pick up
+        rewrites only at a commit point (see
+        :meth:`repro.query.service.QueryService.apply_updates`).
+        """
+        if len(payload) != PAGE_SIZE:
+            raise PageStoreError(
+                f"page payload must be exactly {PAGE_SIZE} bytes, got {len(payload)}"
+            )
+        self._check_bounds(page_id)
+        if not self.backend.writable:
+            raise PageStoreError("cannot rewrite pages on a read-only backend")
+        rewrite = getattr(self.backend, "rewrite", None)
+        if rewrite is None:
+            raise PageStoreError(
+                f"backend {type(self.backend).__name__} does not support rewrite"
+            )
+        rewrite(page_id, payload)
+        self.stats.record_write(self.backend.category(page_id))
+        if self.buffer is not None:
+            self.buffer.discard(page_id)
+        if self.decoded is not None:
+            self.decoded.discard(page_id)
+
+    def fork(self) -> "PageStore":
+        """A copy-on-write clone of this store (fresh caches and stats).
+
+        Unchanged page payloads are shared with this store; appends and
+        rewrites on the fork are invisible here and vice versa.  Memory
+        backends fork natively; a read-only file backend forks into an
+        :class:`OverlayPageBackend` that keeps modifications in RAM.
+        The returned store is always a plain :class:`PageStore`.
+        """
+        fork = getattr(self.backend, "fork", None)
+        if fork is None:
+            raise PageStoreError(
+                f"backend {type(self.backend).__name__} does not support fork; "
+                "snapshot the store and fork the restored copy instead"
+            )
+        return PageStore(backend=fork())
 
     # -- reading -------------------------------------------------------
 

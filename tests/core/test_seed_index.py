@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import FLATIndex, MetadataRecord, SeedIndex, pack_records_into_pages
+from repro.core import FLATIndex, SeedIndex, pack_records_into_pages
 from repro.storage import (
     CATEGORY_METADATA,
     CATEGORY_OBJECT,

@@ -13,10 +13,10 @@ import numpy as np
 import pytest
 
 from repro.core import FLATIndex, restore_index, snapshot_index
-from repro.core.snapshot import INDEX_ARRAYS_FILENAME, INDEX_META_FILENAME
+from repro.core.snapshot import index_arrays_filename, index_meta_filename
 from repro.data.microcircuit import build_microcircuit
 from repro.query import BenchmarkSpec, SCALED_SN_FRACTION, run_queries
-from repro.storage import FilePageStore, PageStore, PageStoreError
+from repro.storage import FilePageStore, PageStore, PageStoreError, SnapshotError
 
 
 def random_mbrs(n, seed=0, span=100.0, extent=2.0):
@@ -102,8 +102,8 @@ class TestRestoredDirectories:
 
     def test_snapshot_files_present(self, sn_round_trip):
         *_, directory = sn_round_trip
-        assert (directory / INDEX_ARRAYS_FILENAME).exists()
-        meta = json.loads((directory / INDEX_META_FILENAME).read_text())
+        assert (directory / index_arrays_filename(0)).exists()
+        meta = json.loads((directory / index_meta_filename(0)).read_text())
         assert meta["index"] == "FLAT"
 
 
@@ -115,12 +115,150 @@ class TestSnapshotErrors:
     def test_restore_bad_format_version(self, tmp_path):
         flat = FLATIndex.build(PageStore(), random_mbrs(200, seed=1))
         snapshot_index(flat, tmp_path / "snap")
-        meta_path = tmp_path / "snap" / INDEX_META_FILENAME
+        meta_path = tmp_path / "snap" / index_meta_filename(0)
         meta = json.loads(meta_path.read_text())
         meta["format_version"] = 999
         meta_path.write_text(json.dumps(meta))
         with pytest.raises(PageStoreError):
             restore_index(tmp_path / "snap")
+
+
+class TestGenerations:
+    """Versioned snapshots of a mutable, file-backed index."""
+
+    def test_mutate_publish_restore_each_generation(self, tmp_path):
+        mbrs = random_mbrs(300, seed=6)
+        store = FilePageStore.create(tmp_path / "idx")
+        flat = FLATIndex.build(store, mbrs, page_capacity=16)
+        query = np.array([20.0, 20, 20, 70, 70, 70])
+        assert flat.snapshot_generation() == 0
+        expected_gen0 = flat.range_query(query)
+
+        extra = random_mbrs(80, seed=7, span=120.0)
+        flat.insert(extra)
+        flat.delete(np.arange(0, 100))
+        assert flat.snapshot_generation() == 1
+        expected_gen1 = flat.range_query(query)
+        store.close()
+
+        gen0 = FLATIndex.restore(tmp_path / "idx", generation=0)
+        latest = FLATIndex.restore(tmp_path / "idx")
+        try:
+            assert np.array_equal(gen0.range_query(query), expected_gen0)
+            assert np.array_equal(latest.range_query(query), expected_gen1)
+            assert latest.element_count == 280
+        finally:
+            gen0.store.close()
+            latest.store.close()
+
+    def test_generations_share_unchanged_pages(self, tmp_path):
+        from repro.storage.filestore import PAGES_FILENAME
+
+        mbrs = random_mbrs(300, seed=8)
+        store = FilePageStore.create(tmp_path / "idx")
+        flat = FLATIndex.build(store, mbrs, page_capacity=16)
+        flat.snapshot_generation()
+        size_after_first = (tmp_path / "idx" / PAGES_FILENAME).stat().st_size
+        flat.delete([0])  # touches one object page + metadata
+        flat.snapshot_generation()
+        size_after_second = (tmp_path / "idx" / PAGES_FILENAME).stat().st_size
+        store.close()
+        grown_pages = (size_after_second - size_after_first) // 4096
+        # Copy-on-write: far fewer new physical pages than the store holds.
+        assert 0 < grown_pages < len(flat.store) // 2
+
+    def test_restore_skips_store_only_generations(self, tmp_path):
+        # close() after unmanifested mutations publishes a store-only
+        # generation; the default restore must fall back to the newest
+        # generation that carries index files instead of failing.
+        mbrs = random_mbrs(200, seed=14)
+        store = FilePageStore.create(tmp_path / "idx")
+        flat = FLATIndex.build(store, mbrs, page_capacity=16)
+        flat.snapshot_generation()  # generation 0, with index files
+        query = np.array([10.0, 10, 10, 80, 80, 80])
+        expected = flat.range_query(query)
+        flat.insert(random_mbrs(20, seed=15))
+        store.close()  # publishes store generation 1, no index files
+        restored = FLATIndex.restore(tmp_path / "idx")
+        try:
+            assert restored.store.generation == 0
+            assert np.array_equal(restored.range_query(query), expected)
+        finally:
+            restored.store.close()
+
+    def test_fork_copies_maintenance_state(self):
+        flat = FLATIndex.build(PageStore(), random_mbrs(200, seed=16),
+                               page_capacity=16)
+        flat.delete([0, 1])  # builds the maintenance directories
+        fork = flat.fork()
+        # The fork starts from a copy instead of an O(index) rebuild...
+        assert fork._mut is not None
+        # ...and the copy is independent of the base.
+        fork.delete([2])
+        assert 2 in flat._mut.element_page
+        assert 2 not in fork._mut.element_page
+
+    def test_snapshot_generation_requires_writable_file_store(self):
+        flat = FLATIndex.build(PageStore(), random_mbrs(100, seed=9))
+        with pytest.raises(PageStoreError, match="writable"):
+            flat.snapshot_generation()
+
+    def test_export_into_own_directory_rejected(self, tmp_path):
+        store = FilePageStore.create(tmp_path / "idx")
+        flat = FLATIndex.build(store, random_mbrs(100, seed=10))
+        with pytest.raises(PageStoreError, match="own directory"):
+            flat.snapshot(tmp_path / "idx")
+        store.close()
+
+    def test_mutated_memory_index_exports_dead_records(self, tmp_path):
+        # Merges leave retired record slots; the export/restore pair
+        # must round-trip them (restored leaf directory skips them).
+        mbrs = random_mbrs(400, seed=11)
+        flat = FLATIndex.build(PageStore(), mbrs, page_capacity=12)
+        flat.delete(np.arange(0, 350))
+        assert int(flat._mut.live.sum()) < flat.seed_index.record_count
+        flat.snapshot(tmp_path / "snap")
+        restored = FLATIndex.restore(tmp_path / "snap")
+        try:
+            query = np.array([-10.0, -10, -10, 120, 120, 120])
+            assert np.array_equal(
+                restored.range_query(query), flat.range_query(query)
+            )
+            fork = restored.fork()
+            fork.insert(random_mbrs(30, seed=12))
+            assert fork.element_count == 80
+        finally:
+            restored.store.close()
+
+
+class TestIndexSnapshotRobustness:
+    def _exported(self, tmp_path):
+        flat = FLATIndex.build(PageStore(), random_mbrs(150, seed=13))
+        snapshot_index(flat, tmp_path / "snap")
+        return tmp_path / "snap"
+
+    def test_corrupt_index_manifest(self, tmp_path):
+        directory = self._exported(tmp_path)
+        path = directory / index_meta_filename(0)
+        path.write_text(path.read_text()[:25])
+        with pytest.raises(SnapshotError, match="truncated or not valid JSON"):
+            restore_index(directory)
+
+    def test_missing_array_bundle(self, tmp_path):
+        directory = self._exported(tmp_path)
+        (directory / index_arrays_filename(0)).unlink()
+        with pytest.raises(SnapshotError, match="missing index array bundle"):
+            restore_index(directory)
+
+    def test_missing_index_manifest_for_generation(self, tmp_path):
+        directory = self._exported(tmp_path)
+        (directory / index_meta_filename(0)).unlink()
+        # Explicitly requested generations fail loudly...
+        with pytest.raises(SnapshotError, match="no index manifest"):
+            restore_index(directory, generation=0)
+        # ...and the default path reports no restorable index at all.
+        with pytest.raises(SnapshotError, match="no index snapshot generations"):
+            restore_index(directory)
 
 
 class TestWithStore:

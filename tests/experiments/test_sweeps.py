@@ -1,6 +1,5 @@
 """Tests for the shared density-sweep engine (tiny configuration)."""
 
-import numpy as np
 import pytest
 
 from repro.experiments import ExperimentConfig

@@ -1,0 +1,82 @@
+"""Property test: kNN tie-breaking is ``(distance, id)``-stable everywhere.
+
+Data sets drawn from a tiny integer grid guarantee many elements with
+*identical* coordinates — so many candidates tie exactly on distance —
+and every engine (FLAT's expanding-radius crawl, the bulkloaded
+R-Trees' best-first search, DLS's connectivity crawl, the sharded
+MINDIST shard walk) must break those ties by ascending element id,
+byte-identically to the brute-force baseline.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.dls import ConnectivityCrawler
+from repro.core import FLATIndex, ShardedFLATIndex
+from repro.geometry import mbr_distance_to_point
+from repro.rtree import bulkload_rtree
+from repro.storage import PageStore
+
+#: A 3x3x3 lattice of possible corners: any draw of >27 elements is
+#: guaranteed duplicate coordinates, and small draws still collide
+#: often.
+grid_coord = st.integers(min_value=0, max_value=2)
+
+
+@st.composite
+def duplicate_heavy_dataset(draw):
+    n = draw(st.integers(min_value=8, max_value=48))
+    corners = np.array(
+        [draw(st.tuples(grid_coord, grid_coord, grid_coord)) for _ in range(n)],
+        dtype=np.float64,
+    )
+    # Degenerate (point) boxes: equal corners mean exactly equal
+    # distances for every co-located element.
+    return np.concatenate([corners, corners], axis=1)
+
+
+def brute_force(mbrs, point, k):
+    dists = mbr_distance_to_point(mbrs, point)
+    order = np.lexsort((np.arange(len(mbrs)), dists))[:k]
+    return order
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    mbrs=duplicate_heavy_dataset(),
+    point=st.tuples(grid_coord, grid_coord, grid_coord),
+    k=st.integers(min_value=1, max_value=12),
+)
+def test_all_engines_break_distance_ties_by_id(mbrs, point, k):
+    point = np.asarray(point, dtype=np.float64)
+    expected = brute_force(mbrs, point, k)
+
+    engines = {
+        "flat": FLATIndex.build(PageStore(), mbrs, page_capacity=8),
+        "rtree-str": bulkload_rtree(PageStore(), mbrs, "str"),
+        "dls": ConnectivityCrawler(
+            mbrs, [[j for j in range(len(mbrs)) if j != i] for i in range(len(mbrs))]
+        ),
+        "sharded": ShardedFLATIndex.build(mbrs, shard_count=2, page_capacity=8),
+    }
+    for name, engine in engines.items():
+        got = engine.knn_query(point, k)
+        assert np.array_equal(got, expected), (
+            f"{name}: got {got}, expected {expected}"
+        )
+
+
+@settings(max_examples=10, deadline=None)
+@given(k=st.integers(min_value=1, max_value=27))
+def test_fully_identical_dataset_returns_lowest_ids(k):
+    # The extreme case: every element at the same point — the result is
+    # purely the id tie-break.
+    mbrs = np.tile(np.array([1.0, 1, 1, 1, 1, 1]), (27, 1))
+    point = np.array([0.0, 0, 0])
+    for engine in (
+        FLATIndex.build(PageStore(), mbrs, page_capacity=8),
+        bulkload_rtree(PageStore(), mbrs, "hilbert"),
+        ShardedFLATIndex.build(mbrs, shard_count=2, page_capacity=8),
+    ):
+        assert np.array_equal(engine.knn_query(point, k), np.arange(k))

@@ -1,4 +1,6 @@
-"""Tests for the file-backed page store and store views."""
+"""Tests for the file-backed page store, generations, and store views."""
+
+import json
 
 import numpy as np
 import pytest
@@ -7,15 +9,18 @@ from repro.storage import (
     CATEGORY_METADATA,
     CATEGORY_OBJECT,
     FilePageStore,
+    OverlayPageBackend,
     PAGE_SIZE,
     PageStore,
     PageStoreError,
+    SnapshotError,
     write_store_snapshot,
 )
 from repro.storage.filestore import (
     CATEGORIES_FILENAME,
-    MANIFEST_FILENAME,
     PAGES_FILENAME,
+    list_generations,
+    manifest_filename,
 )
 from repro.storage.serial import encode_element_page
 
@@ -46,7 +51,7 @@ class TestCreateAndReopen:
             store.allocate(make_page(), CATEGORY_OBJECT)
         assert (tmp_path / "s" / PAGES_FILENAME).stat().st_size == PAGE_SIZE
         assert (tmp_path / "s" / CATEGORIES_FILENAME).stat().st_size == 1
-        assert (tmp_path / "s" / MANIFEST_FILENAME).exists()
+        assert (tmp_path / "s" / manifest_filename(0)).exists()
 
     def test_writable_store_reads_back_its_pages(self, tmp_path):
         store = FilePageStore.create(tmp_path / "s")
@@ -167,6 +172,199 @@ class TestSnapshotCopy:
                 raise RuntimeError("abort build")
         with pytest.raises(PageStoreError):
             FilePageStore.open(tmp_path / "s")
+
+
+class TestRewriteAndGenerations:
+    def test_rewrite_is_append_redirect(self, tmp_path):
+        old, new = make_page(1), make_page(2)
+        with FilePageStore.create(tmp_path / "s") as store:
+            store.allocate(old, CATEGORY_OBJECT)
+            store.snapshot()
+            store.rewrite(0, new)
+            store.snapshot()
+        # The data file holds both physical pages; the logical page
+        # count stays 1.
+        assert (tmp_path / "s" / PAGES_FILENAME).stat().st_size == 2 * PAGE_SIZE
+        with FilePageStore.open(tmp_path / "s") as reopened:
+            assert len(reopened) == 1
+            assert reopened.read(0) == new
+            assert reopened.category(0) == CATEGORY_OBJECT
+
+    def test_old_generations_stay_restorable(self, tmp_path):
+        payloads = [make_page(i) for i in range(3)]
+        with FilePageStore.create(tmp_path / "s") as store:
+            store.allocate(payloads[0], CATEGORY_OBJECT)
+            assert store.snapshot() == 0
+            store.rewrite(0, payloads[1])
+            store.allocate(payloads[2], CATEGORY_METADATA)
+            assert store.snapshot() == 1
+        assert list_generations(tmp_path / "s") == [0, 1]
+        with FilePageStore.open(tmp_path / "s", generation=0) as gen0:
+            assert len(gen0) == 1
+            assert gen0.read(0) == payloads[0]
+        with FilePageStore.open(tmp_path / "s") as latest:
+            assert latest.backend.generation == 1
+            assert len(latest) == 2
+            assert latest.read(0) == payloads[1]
+            assert latest.read(1) == payloads[2]
+
+    def test_close_without_changes_publishes_nothing_new(self, tmp_path):
+        with FilePageStore.create(tmp_path / "s") as store:
+            store.allocate(make_page(), CATEGORY_OBJECT)
+        assert list_generations(tmp_path / "s") == [0]
+        # Reopening read-only and closing again adds no generation.
+        with FilePageStore.open(tmp_path / "s"):
+            pass
+        assert list_generations(tmp_path / "s") == [0]
+
+    def test_uncommitted_tail_is_invisible(self, tmp_path):
+        with FilePageStore.create(tmp_path / "s") as store:
+            store.allocate(make_page(1), CATEGORY_OBJECT)
+            store.snapshot()
+            store.allocate(make_page(2), CATEGORY_OBJECT)
+            store.discard()  # crash before the second snapshot
+        with FilePageStore.open(tmp_path / "s") as reopened:
+            assert len(reopened) == 1
+
+    def test_create_refuses_published_directory(self, tmp_path):
+        with FilePageStore.create(tmp_path / "s") as store:
+            store.allocate(make_page(), CATEGORY_OBJECT)
+        with pytest.raises(PageStoreError, match="already holds"):
+            FilePageStore.create(tmp_path / "s")
+
+    def test_rewrite_rejected_on_read_only_store(self, tmp_path):
+        with FilePageStore.create(tmp_path / "s") as store:
+            store.allocate(make_page(), CATEGORY_OBJECT)
+        with FilePageStore.open(tmp_path / "s") as reopened:
+            with pytest.raises(PageStoreError):
+                reopened.rewrite(0, make_page(1))
+
+    def test_memory_rewrite_invalidates_caches(self):
+        store = PageStore()
+        pid = store.allocate(make_page(1), CATEGORY_OBJECT)
+        assert store.read(pid) == make_page(1)
+        store.rewrite(pid, make_page(2))
+        # The buffered stale payload is gone: the next read is physical
+        # and returns the new bytes.
+        before = store.stats.snapshot()
+        assert store.read(pid) == make_page(2)
+        assert store.stats.diff(before).total_reads == 1
+
+    def test_rewrite_validates_size_and_bounds(self):
+        store = PageStore()
+        store.allocate(make_page(), CATEGORY_OBJECT)
+        with pytest.raises(PageStoreError):
+            store.rewrite(0, b"short")
+        with pytest.raises(PageStoreError):
+            store.rewrite(5, make_page())
+
+
+class TestForks:
+    def test_memory_fork_is_copy_on_write(self):
+        store = PageStore()
+        store.allocate(make_page(1), CATEGORY_OBJECT)
+        fork = store.fork()
+        fork.rewrite(0, make_page(2))
+        fork.allocate(make_page(3), CATEGORY_METADATA)
+        assert store.read_silent(0) == make_page(1)
+        assert len(store) == 1
+        assert fork.read_silent(0) == make_page(2)
+        assert len(fork) == 2
+
+    def test_read_only_file_store_forks_into_overlay(self, tmp_path):
+        with FilePageStore.create(tmp_path / "s") as store:
+            store.allocate(make_page(1), CATEGORY_OBJECT)
+        base = FilePageStore.open(tmp_path / "s")
+        try:
+            fork = base.fork()
+            assert isinstance(fork.backend, OverlayPageBackend)
+            fork.rewrite(0, make_page(2))
+            new_pid = fork.allocate(make_page(3), CATEGORY_METADATA)
+            assert base.read_silent(0) == make_page(1)
+            assert fork.read_silent(0) == make_page(2)
+            assert fork.read_silent(new_pid) == make_page(3)
+            assert fork.category(new_pid) == CATEGORY_METADATA
+            # A second-level fork stays independent of the first.
+            fork2 = fork.fork()
+            fork2.rewrite(0, make_page(4))
+            assert fork.read_silent(0) == make_page(2)
+            assert fork2.read_silent(0) == make_page(4)
+        finally:
+            base.close()
+
+    def test_writable_file_store_cannot_fork(self, tmp_path):
+        store = FilePageStore.create(tmp_path / "s")
+        try:
+            store.allocate(make_page(), CATEGORY_OBJECT)
+            with pytest.raises(PageStoreError, match="publish a snapshot"):
+                store.fork()
+        finally:
+            store.close()
+
+
+class TestSnapshotRobustness:
+    """Malformed directories must surface as clear ``SnapshotError``s."""
+
+    def _published(self, tmp_path):
+        directory = tmp_path / "s"
+        with FilePageStore.create(directory) as store:
+            store.allocate(make_page(1), CATEGORY_OBJECT)
+            store.allocate(make_page(2), CATEGORY_METADATA)
+        return directory
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(SnapshotError, match="no page-store manifest"):
+            FilePageStore.open(tmp_path / "nope")
+
+    def test_truncated_manifest(self, tmp_path):
+        directory = self._published(tmp_path)
+        manifest = directory / manifest_filename(0)
+        manifest.write_text(manifest.read_text()[: 40])
+        with pytest.raises(SnapshotError) as excinfo:
+            FilePageStore.open(directory)
+        assert "truncated or not valid JSON" in str(excinfo.value)
+        assert str(directory) in str(excinfo.value)
+
+    def test_missing_sidecar(self, tmp_path):
+        directory = self._published(tmp_path)
+        (directory / CATEGORIES_FILENAME).unlink()
+        with pytest.raises(SnapshotError, match="missing category sidecar"):
+            FilePageStore.open(directory)
+
+    def test_short_sidecar(self, tmp_path):
+        directory = self._published(tmp_path)
+        (directory / CATEGORIES_FILENAME).write_bytes(b"\x00")
+        with pytest.raises(SnapshotError, match="category sidecar has 1"):
+            FilePageStore.open(directory)
+
+    def test_version_field_mismatch(self, tmp_path):
+        directory = self._published(tmp_path)
+        manifest = directory / manifest_filename(0)
+        meta = json.loads(manifest.read_text())
+        meta["format_version"] = 999
+        manifest.write_text(json.dumps(meta))
+        with pytest.raises(SnapshotError, match="format version 999"):
+            FilePageStore.open(directory)
+
+    def test_missing_manifest_field(self, tmp_path):
+        directory = self._published(tmp_path)
+        manifest = directory / manifest_filename(0)
+        meta = json.loads(manifest.read_text())
+        del meta["page_table"]
+        manifest.write_text(json.dumps(meta))
+        with pytest.raises(SnapshotError, match="missing the 'page_table'"):
+            FilePageStore.open(directory)
+
+    def test_unknown_generation_requested(self, tmp_path):
+        directory = self._published(tmp_path)
+        with pytest.raises(SnapshotError, match="no generation 7"):
+            FilePageStore.open(directory, generation=7)
+
+    def test_snapshot_error_is_a_page_store_error(self, tmp_path):
+        # Callers guarding with the broader type keep working.
+        with pytest.raises(PageStoreError):
+            FilePageStore.open(tmp_path / "nope")
+        assert issubclass(SnapshotError, PageStoreError)
 
 
 class TestStoreViews:

@@ -139,7 +139,6 @@ class TestMetadataPage:
 
     def test_record_size_formula(self):
         records = self.make_records(1, neighbors_each=7)
-        base = self.make_records(1, neighbors_each=0)
         assert metadata_record_bytes(7) - metadata_record_bytes(0) == 7 * 4
         # formula consistent with the actual encoding growth
         grown = len(encode_metadata_page(records))
