@@ -2,12 +2,18 @@
 
 Builds FLAT over one microcircuit density step in memory, snapshots it
 to disk, reopens it over the mmap-backed file store, and serves the SN
-benchmark through :class:`~repro.query.service.QueryService` at
-increasing worker counts — cold caches (the paper's regime: every query
+benchmark through :class:`~repro.query.service.QueryService` across a
+(mode × workers × cache) matrix — thread workers at batch 1 (the
+legacy pinned path) and process workers over shared mmap pages with the
+multi-query batched crawl, cold caches (the paper's regime: every query
 drops its worker's buffer + decoded cache) and warm (caches accumulate
 across queries).  The restored index must return exactly the per-query
-results and per-category page reads of the in-memory build; the
-benchmark reports serving throughput on top of that equivalence.
+results and per-category page reads of the in-memory build; every cold
+run, whatever its mode or batching, must reproduce the harness's page
+reads byte-exactly.  On top of that equivalence each run reports
+throughput, p50/p95/p99 latency and per-worker scaling efficiency, and
+the 4-process-worker cold run is gated at ≥ 2.5× the single-worker
+cold baseline.
 
 Run ``python benchmarks/bench_serving.py`` to print a summary and emit
 ``BENCH_serving.json`` (the serving-trajectory artifact tracked across
@@ -22,7 +28,14 @@ from pathlib import Path
 from bench_common import describe_workload, finish, workload_parser
 from repro.core import FLATIndex
 from repro.data.microcircuit import build_microcircuit
-from repro.query import BenchmarkSpec, QueryService, SCALED_SN_FRACTION, run_queries
+from repro.query import (
+    MODE_PROCESS,
+    MODE_THREAD,
+    BenchmarkSpec,
+    QueryService,
+    SCALED_SN_FRACTION,
+    run_queries,
+)
 from repro.storage import PageStore
 
 #: Default workload: the SN benchmark (Figs. 12/13) at reproduction
@@ -32,24 +45,58 @@ VOLUME_SIDE = 15.0
 QUERY_COUNT = 120
 SEED = 7
 WORKER_COUNTS = (1, 2, 4, 8)
+MODES = (MODE_THREAD, MODE_PROCESS)
+#: Queries per joint-crawl task in process mode; thread mode serves at
+#: batch 1 (the per-query path whose decode counters are pinned).
+PROCESS_BATCH = 30
+#: Cold throughput a ≥4-process-worker run must reach, as a multiple of
+#: the single-worker cold baseline.
+SPEEDUP_GATE = 2.5
 
 
-def _serve(index, queries, workers: int, cold: bool) -> dict:
+def _serve(index, queries, workers: int, cold: bool, mode: str,
+           batch: int) -> dict:
     with QueryService(
-        index, workers=workers, clear_cache_per_query=cold
+        index,
+        workers=workers,
+        clear_cache_per_query=cold,
+        mode=mode,
+        batch_queries=batch,
     ) as service:
+        # Warm the pool up before timing: spawning worker processes and
+        # shipping them the engine is a one-off setup cost, not serving
+        # throughput (thread pools get the same treatment for parity).
+        for future in [service.submit(q) for q in queries[:workers]]:
+            future.result()
         report = service.run(queries, "flat-served")
+    latency = report.latency_percentiles()
     return {
+        "mode": mode,
+        "batch_queries": batch,
         "workers": workers,
         "cache": "cold" if cold else "warm",
         "wall_seconds": report.wall_seconds,
         "throughput_qps": report.throughput_qps,
+        "latency_ms": {k: v * 1000.0 for k, v in latency.items()},
         "total_page_reads": report.total_page_reads,
         "cache_hits": report.cache_hits,
         "workers_used": report.workers_used,
         "result_elements": report.result_elements,
         "per_query_results": report.per_query_results,
     }
+
+
+def _annotate_efficiency(runs: list) -> None:
+    """Scaling efficiency = qps / (workers × same-config 1-worker qps)."""
+    baselines = {
+        (r["mode"], r["cache"], r["batch_queries"]): r["throughput_qps"]
+        for r in runs
+        if r["workers"] == 1
+    }
+    for r in runs:
+        base = baselines.get((r["mode"], r["cache"], r["batch_queries"]))
+        if base and base > 0:
+            r["scaling_efficiency"] = r["throughput_qps"] / (r["workers"] * base)
 
 
 def run_serving_bench(
@@ -59,6 +106,8 @@ def run_serving_bench(
     seed: int = SEED,
     worker_counts=WORKER_COUNTS,
     snapshot_dir: Path | None = None,
+    modes=MODES,
+    process_batch: int = PROCESS_BATCH,
 ) -> dict:
     """Build, snapshot, restore and serve; return the full comparison."""
     circuit = build_microcircuit(n_elements, side=volume_side, seed=seed)
@@ -81,23 +130,58 @@ def run_serving_bench(
                 restored, restored.store, queries, "flat-restored"
             )
             runs = []
-            for workers in worker_counts:
-                runs.append(_serve(restored, queries, workers, cold=True))
-                runs.append(_serve(restored, queries, workers, cold=False))
+            for mode in modes:
+                batch = process_batch if mode == MODE_PROCESS else 1
+                for workers in worker_counts:
+                    runs.append(
+                        _serve(restored, queries, workers, True, mode, batch)
+                    )
+                    runs.append(
+                        _serve(restored, queries, workers, False, mode, batch)
+                    )
         finally:
             restored.store.close()
     finally:
         if own_tmp is not None:
             own_tmp.cleanup()
 
-    cold_single = next(
-        r for r in runs if r["cache"] == "cold" and r["workers"] == worker_counts[0]
+    _annotate_efficiency(runs)
+    cold_runs = [r for r in runs if r["cache"] == "cold"]
+    # The speedup baseline: single-worker cold, preferring the legacy
+    # thread/batch=1 configuration when it is part of the sweep.
+    cold_single = min(
+        cold_runs,
+        key=lambda r: (r["workers"], r["mode"] != MODE_THREAD, r["batch_queries"]),
     )
     served_match = all(
         r["per_query_results"] == built.per_query_results for r in runs
     )
     for r in runs:
         del r["per_query_results"]  # bulky; equivalence is summarized in checks
+    checks = {
+        "restored_identical_results": built.per_query_results
+        == restored_run.per_query_results,
+        "restored_identical_page_reads": built.reads_by_category
+        == restored_run.reads_by_category,
+        "served_identical_results": served_match,
+        # Every cold run — thread or process, batched or not — must
+        # charge exactly the harness's physical page reads.
+        "served_cold_reads_match_harness": all(
+            r["total_page_reads"] == built.total_page_reads for r in cold_runs
+        ),
+        "throughput_positive": all(r["throughput_qps"] > 0 for r in runs),
+    }
+    gated = [
+        r
+        for r in cold_runs
+        if r["mode"] == MODE_PROCESS and r["workers"] >= 4
+    ]
+    if gated and cold_single["throughput_qps"] > 0:
+        best = max(r["throughput_qps"] for r in gated)
+        speedup = best / cold_single["throughput_qps"]
+        checks["process_cold_speedup_vs_single_worker"] = speedup >= SPEEDUP_GATE
+    else:
+        speedup = None
     return {
         "benchmark": "serving",
         "workload": {
@@ -118,16 +202,9 @@ def run_serving_bench(
             "result_elements": restored_run.result_elements,
         },
         "serving": runs,
-        "checks": {
-            "restored_identical_results": built.per_query_results
-            == restored_run.per_query_results,
-            "restored_identical_page_reads": built.reads_by_category
-            == restored_run.reads_by_category,
-            "served_identical_results": served_match,
-            "served_cold_reads_match_harness": cold_single["total_page_reads"]
-            == built.total_page_reads,
-            "throughput_positive": all(r["throughput_qps"] > 0 for r in runs),
-        },
+        "process_cold_speedup": speedup,
+        "speedup_gate": SPEEDUP_GATE if speedup is not None else None,
+        "checks": checks,
     }
 
 
@@ -145,6 +222,14 @@ def main(argv=None) -> int:
         help="worker counts to sweep",
     )
     parser.add_argument(
+        "--modes", nargs="+", choices=[MODE_THREAD, MODE_PROCESS],
+        default=list(MODES), help="execution modes to sweep",
+    )
+    parser.add_argument(
+        "--batch", type=int, default=PROCESS_BATCH,
+        help="queries per joint-crawl task in process mode",
+    )
+    parser.add_argument(
         "--snapshot-dir", type=Path, default=None,
         help="where to write the snapshot (default: a temporary directory)",
     )
@@ -156,14 +241,23 @@ def main(argv=None) -> int:
         args.seed,
         tuple(args.workers),
         args.snapshot_dir,
+        tuple(args.modes),
+        args.batch,
     )
 
     print(describe_workload(report))
     for run in report["serving"]:
-        print(f"  workers={run['workers']} {run['cache']:4s}: "
-              f"{run['throughput_qps']:8.1f} q/s "
+        p50 = run["latency_ms"].get("p50", float("nan"))
+        eff = run.get("scaling_efficiency")
+        eff_text = f" eff={eff:4.2f}" if eff is not None else ""
+        print(f"  {run['mode']:7s} b={run['batch_queries']:<3d} "
+              f"workers={run['workers']} {run['cache']:4s}: "
+              f"{run['throughput_qps']:8.1f} q/s p50={p50:6.1f}ms{eff_text} "
               f"({run['total_page_reads']} page reads, "
               f"{run['cache_hits']} cache hits)")
+    if report["process_cold_speedup"] is not None:
+        print(f"process cold speedup vs single worker: "
+              f"{report['process_cold_speedup']:.2f}x (gate {SPEEDUP_GATE}x)")
     return finish(report, args.out)
 
 

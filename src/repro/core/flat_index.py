@@ -1054,6 +1054,21 @@ class FLATIndex:
         stats.result_count = len(out)
         return out
 
+    def range_query_multi(self, queries: np.ndarray, cold: bool = True) -> list:
+        """Serve a batch of range queries with one joint crawl.
+
+        Returns one sorted id array per query, each exactly
+        :meth:`range_query`'s answer; every metadata leaf and object
+        page touched by the group is decoded once, not once per query.
+        With ``cold=True`` each query is charged its serial cold-cache
+        page reads (identical ``IOStats`` read totals); ``cold=False``
+        serves the group warm through this store's persistent caches.
+        See :func:`repro.core.multicrawl.crawl_multi`.
+        """
+        from repro.core.multicrawl import crawl_multi
+
+        return crawl_multi(self, queries, cold=cold)
+
     def point_query(self, point: np.ndarray) -> np.ndarray:
         """Element ids whose MBR contains *point* (degenerate range query)."""
         return self.range_query(point_as_box(point))

@@ -37,9 +37,11 @@ import numpy as np
 from repro.storage.filestore import (
     FilePageBackend,
     FilePageStore,
+    append_overlay_generation,
+    latest_generation,
     list_generations,
 )
-from repro.storage.pagestore import PageStoreError, SnapshotError
+from repro.storage.pagestore import OverlayPageBackend, PageStoreError, SnapshotError
 
 #: Bumped on any incompatible change to the index serialization.
 #: Version 2 introduced numbered generations and the write-path fields
@@ -161,6 +163,62 @@ def snapshot_generation(flat) -> int:
     committed = backend.commit_generation()
     assert committed == generation
     return generation
+
+
+def publish_fork_generation(flat, expected_base: int | None = None) -> tuple:
+    """Publish a forked index as the next on-disk generation of its base.
+
+    *flat* must be a fork of a restored snapshot — an index whose store
+    is an :class:`~repro.storage.pagestore.OverlayPageBackend` over a
+    read-only mmap-backed :class:`~repro.storage.filestore.FilePageBackend`.
+    The overlay's changed pages are appended to the base directory
+    (copy-on-write: the fork's parent generation and every older one
+    stay restorable) together with this generation's index files, and
+    the manifest is published last, atomically.  Returns ``(directory,
+    generation)`` — the spec a reader in *any* process needs to restore
+    exactly this committed state.
+
+    *expected_base* pins the generation this commit believes is the
+    directory's latest: if another publisher advanced the directory in
+    the meantime, the commit is refused with
+    :class:`~repro.storage.pagestore.SnapshotError` instead of silently
+    forking the lineage (a serial publisher passes the generation of
+    its own last publish — or of its original restore, before the
+    first one).
+
+    This is how cross-process serving propagates update commits: the
+    committing process publishes, worker processes lazily
+    :meth:`~repro.core.flat_index.FLATIndex.restore` the named
+    generation on their first post-commit task.
+    """
+    backend = flat.store.backend
+    base = getattr(backend, "base", None)
+    if not isinstance(backend, OverlayPageBackend) or not isinstance(
+        base, FilePageBackend
+    ):
+        raise PageStoreError(
+            "publish_fork_generation() needs a fork of a restored snapshot "
+            "(an overlay over a read-only file store); snapshot the index "
+            "to disk and fork the restored copy instead"
+        )
+    directory = base.directory
+    latest = latest_generation(directory)
+    if expected_base is not None and latest != expected_base:
+        raise SnapshotError(
+            f"snapshot directory {directory}: commit built on generation "
+            f"{expected_base} but the directory has advanced to {latest}; "
+            "generation publishing is single-writer per directory"
+        )
+    generation = latest + 1
+    _write_index_files(flat, directory, generation)
+    committed = append_overlay_generation(backend)
+    if committed != generation:
+        raise SnapshotError(
+            f"snapshot directory {directory}: generation moved from "
+            f"{generation} to {committed} mid-publish — publishing must be "
+            "single-writer"
+        )
+    return directory, generation
 
 
 def restore_index(directory, generation=None, buffer=None, decoded=None):

@@ -17,16 +17,26 @@ from repro.query.executor import (
     run_knn_queries,
     run_point_queries,
     run_queries,
+    run_queries_grouped,
 )
 from repro.query.knn import expanding_radius_knn
 from repro.query.planner import QueryPlan, QueryPlanner
-from repro.query.service import GatherFuture, QueryService, ServiceReport
+from repro.query.service import (
+    GatherFuture,
+    MODE_PROCESS,
+    MODE_THREAD,
+    QueryService,
+    ServiceReport,
+    UpdateReport,
+)
 from repro.query.workload import random_points, random_range_queries
 
 __all__ = [
     "BenchmarkSpec",
     "CallableEngine",
     "GatherFuture",
+    "MODE_PROCESS",
+    "MODE_THREAD",
     "PAPER_LSS_FRACTION",
     "PAPER_SN_FRACTION",
     "QUERY_COUNT",
@@ -38,6 +48,7 @@ __all__ = [
     "SCALED_LSS_FRACTION",
     "SCALED_SN_FRACTION",
     "ServiceReport",
+    "UpdateReport",
     "expanding_radius_knn",
     "lss_benchmark",
     "random_points",
@@ -45,5 +56,6 @@ __all__ = [
     "run_knn_queries",
     "run_point_queries",
     "run_queries",
+    "run_queries_grouped",
     "sn_benchmark",
 ]

@@ -24,6 +24,23 @@ bridges the two without giving up the accounting:
   cold-cache regime the totals reproduce the single-threaded harness
   exactly, shard pruning included.
 
+**Execution modes.**  Thread workers share the interpreter, so a
+CPU-bound crawl serializes on the GIL no matter the pool size.
+``mode="process"`` runs the same serving protocol across *processes*:
+the index is pickled once into each worker (a read-only mmap-backed
+store pickles as its ``(directory, generation)`` spec and reattaches by
+remapping — page bytes never cross the pipe, and every process shares
+the same OS page cache), each task returns its result ids plus the
+worker store's :class:`~repro.storage.stats.IOStats` *delta*, and the
+parent merges deltas in submission order — deterministic totals
+regardless of worker completion order, same
+:class:`~repro.storage.pagestore.PageStoreGroup`-style counter
+arithmetic as the thread path.  ``batch_queries`` additionally groups
+in-flight queries into one :meth:`FLATIndex.range_query_multi
+<repro.core.flat_index.FLATIndex.range_query_multi>` joint crawl per
+task, amortizing per-page decode work across every query in the group
+while the cold-cache accounting stays per-query byte-exact.
+
 **Queries under updates.**  :meth:`QueryService.apply_updates` mutates
 the served index with snapshot isolation: the update batch is applied
 to a copy-on-write *fork* (:meth:`FLATIndex.fork
@@ -33,25 +50,42 @@ commit then atomically swaps the service's current index, and worker
 threads pick up clones of the new generation on their next query.
 Every query executes entirely against the single generation captured
 when it was submitted — a result is never a torn mix of pre- and
-post-update state.
+post-update state.  In process mode the commit additionally *publishes*
+the fork as the next on-disk snapshot generation
+(:func:`~repro.core.snapshot.publish_fork_generation`); tasks carry the
+``(directory, generation)`` spec of the version they captured, and a
+worker process lazily restores that exact generation the first time a
+post-commit task reaches it — the same isolation guarantee, across
+address spaces.
 
 Works with any engine exposing ``range_query`` plus ``store`` and
 ``with_store`` (or ``shards``/``planner``/``with_views`` for the
 sharded layout); page payloads of a published generation are immutable,
 so concurrent reads need no locking anywhere in the storage layer.
+Sharded indexes are served by the thread pool only (their scatter state
+does not travel across processes).
 """
 
 from __future__ import annotations
 
+import multiprocessing
+import os
+import pickle
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.query.planner import QueryPlanner
+from repro.storage.pagestore import PageStoreError
 from repro.storage.stats import IOStats
+
+#: Execution modes of :class:`QueryService`.
+MODE_THREAD = "thread"
+MODE_PROCESS = "process"
 
 
 @dataclass
@@ -60,9 +94,16 @@ class ServiceReport:
 
     index_name: str
     worker_count: int
+    #: ``"thread"`` or ``"process"`` — how the batch was executed.
+    execution_mode: str = MODE_THREAD
+    #: Queries grouped per joint-crawl task (1 = one task per query).
+    batch_queries: int = 1
     query_count: int = 0
     result_elements: int = 0
     wall_seconds: float = 0.0
+    #: Per-query submit-to-done latency, in request order.  Queries
+    #: grouped into one task share their task's latency.
+    latencies_seconds: list = field(default_factory=list)
     #: Physical page reads summed over every worker's stat view.
     reads_by_category: dict = field(default_factory=dict)
     #: Full page decodes by decode kind, summed over workers.
@@ -89,6 +130,13 @@ class ServiceReport:
             return float("nan")
         return self.query_count / self.wall_seconds
 
+    def latency_percentiles(self) -> dict:
+        """p50/p95/p99 of per-query latency, in seconds (empty if untracked)."""
+        if not self.latencies_seconds:
+            return {}
+        p50, p95, p99 = np.percentile(self.latencies_seconds, [50, 95, 99])
+        return {"p50": float(p50), "p95": float(p95), "p99": float(p99)}
+
 
 @dataclass
 class UpdateReport:
@@ -109,6 +157,112 @@ class UpdateReport:
     @property
     def update_count(self) -> int:
         return len(self.inserted_ids) + self.deleted_count
+
+
+# -- process-mode worker side -------------------------------------------
+#
+# Everything a ProcessPoolExecutor worker runs lives at module level so
+# it pickles by reference.  Each worker process keeps a small cache of
+# engines keyed by generation: generation 0 arrives pickled through the
+# pool initializer; later generations are restored lazily from the
+# (directory, generation) spec a post-commit task carries.  Every task
+# returns (pid, results, stats delta, wall seconds): the parent never
+# shares mutable state with workers, so stat aggregation is pure
+# counter arithmetic on the returned deltas.
+
+#: Engine generations alive in this worker process (version -> engine).
+_PROCESS_ENGINES: OrderedDict | None = None
+
+#: Generations a worker keeps warm before closing the oldest (matches
+#: the thread pool's per-thread clone retention).
+_PROCESS_KEPT_VERSIONS = 4
+
+
+def _process_worker_init(payload: bytes) -> None:
+    global _PROCESS_ENGINES
+    _PROCESS_ENGINES = OrderedDict([(0, pickle.loads(payload))])
+
+
+def _process_engine(version: int, spec):
+    """This process's engine for one generation, restoring on miss."""
+    engines = _PROCESS_ENGINES
+    engine = engines.get(version)
+    if engine is not None:
+        engines.move_to_end(version)
+        return engine
+    if spec is None:
+        raise RuntimeError(
+            f"worker process has no engine for generation {version} and "
+            "the task carried no snapshot spec to restore it from"
+        )
+    from repro.core.flat_index import FLATIndex
+
+    directory, generation = spec
+    engine = FLATIndex.restore(directory, generation=generation)
+    engines[version] = engine
+    while len(engines) > _PROCESS_KEPT_VERSIONS:
+        _stale, old = engines.popitem(last=False)
+        close = getattr(old.store, "close", None)
+        if close is not None:
+            close()
+    return engine
+
+
+def _process_run_group(version: int, spec, queries, cold: bool,
+                       batched: bool) -> tuple:
+    """Serve one query group in a worker process.
+
+    Returns ``(pid, per-query id arrays, IOStats delta, exec seconds)``.
+    """
+    engine = _process_engine(version, spec)
+    store = engine.store
+    before = store.stats.snapshot()
+    t0 = time.perf_counter()
+    if batched and len(queries) > 1:
+        results = engine.range_query_multi(queries, cold=cold)
+    else:
+        results = []
+        for query in queries:
+            if cold:
+                store.clear_cache()
+            results.append(engine.range_query(query))
+    elapsed = time.perf_counter() - t0
+    return os.getpid(), results, store.stats.diff(before), elapsed
+
+
+def _process_run_knn(version: int, spec, point, k: int, cold: bool) -> tuple:
+    """Serve one kNN query in a worker process."""
+    engine = _process_engine(version, spec)
+    store = engine.store
+    before = store.stats.snapshot()
+    t0 = time.perf_counter()
+    if cold:
+        store.clear_cache()
+    hits = engine.knn_query(point, k)
+    elapsed = time.perf_counter() - t0
+    return os.getpid(), [hits], store.stats.diff(before), elapsed
+
+
+class _ProcessFuture:
+    """Unwraps a worker-task future for :meth:`QueryService.submit`.
+
+    ``result()`` returns the single query's id array; the task's stat
+    delta and worker pid were already absorbed into the service's
+    lifetime accounting by a done-callback (exactly once per task).
+    """
+
+    def __init__(self, future):
+        self._future = future
+
+    def result(self, timeout=None):
+        _pid, results, _delta, _elapsed = self._future.result(timeout)
+        return results[0]
+
+    def done(self) -> bool:
+        return self._future.done()
+
+    def cancel(self) -> bool:
+        return self._future.cancel()
 
 
 class GatherFuture:
@@ -141,7 +295,7 @@ class GatherFuture:
 
 
 class QueryService:
-    """Serve queries from a thread pool over one shared index.
+    """Serve queries from a thread or process pool over one shared index.
 
     Parameters
     ----------
@@ -160,6 +314,21 @@ class QueryService:
         before every query (per touched shard, for sharded indexes).
         ``False`` serves warm: caches accumulate across queries within
         each worker.
+    mode:
+        ``"thread"`` (default) or ``"process"``.  Process workers get
+        the index pickled once via the pool initializer; a read-only
+        mmap-backed store reattaches by remapping its snapshot
+        directory, so page bytes are shared through the OS page cache.
+        Sharded indexes are thread-only.
+    batch_queries:
+        Queries grouped per pool task in :meth:`run`; groups larger
+        than one are served by a single joint
+        :meth:`~repro.core.flat_index.FLATIndex.range_query_multi`
+        crawl (per-query cold accounting preserved).  Sharded indexes
+        require the default of 1.
+    mp_context:
+        Optional :mod:`multiprocessing` context for the process pool
+        (defaults to the platform default).
     """
 
     #: Per-thread engine clones kept for superseded generations: tasks
@@ -167,14 +336,58 @@ class QueryService:
     #: version, so a few stay warm before being dropped.
     _KEPT_VERSIONS = 4
 
-    def __init__(self, index, workers: int = 4, clear_cache_per_query: bool = True):
+    def __init__(self, index, workers: int = 4, clear_cache_per_query: bool = True,
+                 mode: str = MODE_THREAD, batch_queries: int = 1,
+                 mp_context=None):
         if workers <= 0:
             raise ValueError(f"workers must be positive, got {workers}")
+        if mode not in (MODE_THREAD, MODE_PROCESS):
+            raise ValueError(
+                f"mode must be {MODE_THREAD!r} or {MODE_PROCESS!r}, got {mode!r}"
+            )
+        if not isinstance(batch_queries, int) or batch_queries < 1:
+            raise ValueError(
+                f"batch_queries must be a positive int, got {batch_queries!r}"
+            )
         self._index = index
         self._version = 0
         self.worker_count = workers
         self.clear_cache_per_query = clear_cache_per_query
         self._sharded = hasattr(index, "shards") and hasattr(index, "with_views")
+        if self._sharded and mode == MODE_PROCESS:
+            raise ValueError(
+                "sharded indexes are served by thread workers only; their "
+                "scatter state does not travel across processes"
+            )
+        if self._sharded and batch_queries > 1:
+            raise ValueError(
+                "batch_queries > 1 needs a monolithic index; sharded "
+                "serving scatters per query"
+            )
+        if batch_queries > 1 and not hasattr(index, "range_query_multi"):
+            raise ValueError(
+                f"batch_queries > 1 needs an engine with range_query_multi; "
+                f"{type(index).__name__} has none"
+            )
+        self._mode = mode
+        self._batch = batch_queries
+        #: version -> (directory, generation) snapshot spec a worker
+        #: process can restore that version from.  Generation 0 is
+        #: shipped pickled through the pool initializer, so it needs no
+        #: spec.
+        self._gen_specs: dict = {0: None}
+        #: On-disk generation of the last commit this service published
+        #: (initially the served index's own generation, if file-backed)
+        #: — pins the single-writer lineage check at publish time.
+        self._published_gen = getattr(
+            getattr(getattr(index, "store", None), "backend", None),
+            "generation",
+            None,
+        )
+        #: Lifetime counters returned by process-worker tasks.
+        self._process_stats = IOStats()
+        self._worker_pids: set = set()
+        self._process_lock = threading.Lock()
         self._local = threading.local()
         self._worker_states: list = []
         #: Lifetime counters of retired clones (superseded generations)
@@ -187,17 +400,29 @@ class QueryService:
         #: Serializes apply_updates callers and guards the (version,
         #: index) pair swap.
         self._commit_lock = threading.Lock()
-        self._pool = ThreadPoolExecutor(
-            max_workers=workers, thread_name_prefix="query-worker"
-        )
+        if mode == MODE_PROCESS:
+            with_store = getattr(index, "with_store", None)
+            clean = index if with_store is None else with_store(index.store.view())
+            payload = pickle.dumps(clean)
+            context = mp_context or multiprocessing.get_context()
+            self._pool = ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=context,
+                initializer=_process_worker_init,
+                initargs=(payload,),
+            )
+        else:
+            self._pool = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="query-worker"
+            )
         self._closed = False
 
     # -- worker state ---------------------------------------------------
 
     def _current(self) -> tuple:
-        """The (version, index) pair queries should be planned against."""
+        """The (version, index, snapshot spec) queries run against."""
         with self._commit_lock:
-            return self._version, self._index
+            return self._version, self._index, self._gen_specs.get(self._version)
 
     def _worker(self, version: int, index):
         """This thread's (engine, store) pair for one index generation.
@@ -240,6 +465,17 @@ class QueryService:
             store.clear_cache()
         return engine.range_query(query)
 
+    def _execute_group(self, version: int, index, queries) -> list:
+        """One thread task serving a query group via the joint crawl."""
+        engine, store = self._worker(version, index)
+        if len(queries) > 1:
+            return engine.range_query_multi(
+                queries, cold=self.clear_cache_per_query
+            )
+        if self.clear_cache_per_query:
+            store.clear_cache()
+        return [engine.range_query(queries[0])]
+
     def _execute_shard(self, version: int, index, shard_id: int,
                        query: np.ndarray) -> np.ndarray:
         """One scatter task: crawl a single shard on this worker's view."""
@@ -279,7 +515,14 @@ class QueryService:
         """
         self._check_open()
         query = np.asarray(query, dtype=np.float64)
-        version, index = self._current()
+        version, index, spec = self._current()
+        if self._mode == MODE_PROCESS:
+            future = self._pool.submit(
+                _process_run_group, version, spec, query[None, :],
+                self.clear_cache_per_query, False,
+            )
+            future.add_done_callback(self._absorb_process_future)
+            return _ProcessFuture(future)
         if not self._sharded:
             return self._pool.submit(self._execute, version, index, query)
         shard_ids = index.planner.shards_for_box(query)
@@ -293,37 +536,107 @@ class QueryService:
         """Serve a whole batch; results aggregate into the report.
 
         Queries are dispatched to the pool all at once (every per-shard
-        task of every query, for sharded indexes) and collected in
+        task of every query, for sharded indexes; one task per
+        ``batch_queries``-sized group otherwise) and collected in
         request order; the report's counters are the exact difference
-        each worker's :class:`IOStats` accumulated during this batch.
+        the workers' :class:`IOStats` accumulated during this batch —
+        diffed store views in thread mode, returned per-task deltas
+        merged in submission order in process mode.
         """
         self._check_open()
         queries = np.asarray(queries, dtype=np.float64)
         if queries.ndim != 2 or queries.shape[1] != 6:
             raise ValueError(f"expected (N, 6) query boxes, got {queries.shape}")
-        version, index = self._current()
+        version, index, spec = self._current()
         report = ServiceReport(
             index_name=index_name or type(index).__name__,
             worker_count=self.worker_count,
+            execution_mode=self._mode,
+            batch_queries=self._batch,
         )
-        before = self._snapshot_worker_stats()
+        before = {} if self._mode == MODE_PROCESS else self._snapshot_worker_stats()
+        latencies = [0.0] * len(queries)
+
+        def stamp(first: int, count: int):
+            """Done-callback writing this task's submit-to-done latency
+            into each member query's slot (disjoint slots, no lock)."""
+            t_submit = time.perf_counter()
+
+            def done(_future) -> None:
+                elapsed = time.perf_counter() - t_submit
+                for qi in range(first, first + count):
+                    latencies[qi] = elapsed
+
+            return done
 
         t0 = time.perf_counter()
         if self._sharded:
             results = self._run_scatter_gather(version, index, queries, report)
-        else:
-            futures = [
-                self._pool.submit(self._execute, version, index, query)
-                for query in queries
-            ]
+        elif self._mode == MODE_PROCESS:
+            results = self._run_process_groups(
+                version, spec, queries, report, stamp
+            )
+        elif self._batch == 1:
+            futures = []
+            for qi, query in enumerate(queries):
+                future = self._pool.submit(self._execute, version, index, query)
+                future.add_done_callback(stamp(qi, 1))
+                futures.append(future)
             results = [future.result() for future in futures]
+        else:
+            futures = []
+            for first in range(0, len(queries), self._batch):
+                group = queries[first:first + self._batch]
+                future = self._pool.submit(
+                    self._execute_group, version, index, group
+                )
+                future.add_done_callback(stamp(first, len(group)))
+                futures.append(future)
+            results = [ids for future in futures for ids in future.result()]
         report.wall_seconds = time.perf_counter() - t0
+        if not self._sharded:
+            report.latencies_seconds = latencies
 
         report.query_count = len(results)
         report.per_query_results = [len(hits) for hits in results]
         report.result_elements = sum(report.per_query_results)
-        self._aggregate_batch_stats(report, before)
+        if self._mode != MODE_PROCESS:
+            self._aggregate_batch_stats(report, before)
         return report
+
+    def _run_process_groups(self, version: int, spec, queries,
+                            report: ServiceReport, stamp) -> list:
+        """Dispatch query groups to the process pool; merge in order.
+
+        Each task's :class:`IOStats` delta is merged in submission
+        order (never completion order), so repeated runs of the same
+        batch produce identical reports no matter how the OS schedules
+        the workers.
+        """
+        batched = self._batch > 1
+        futures = []
+        for first in range(0, len(queries), self._batch):
+            group = queries[first:first + self._batch]
+            future = self._pool.submit(
+                _process_run_group, version, spec, group,
+                self.clear_cache_per_query, batched,
+            )
+            future.add_done_callback(stamp(first, len(group)))
+            futures.append(future)
+        results: list = []
+        delta = IOStats()
+        pids: set = set()
+        for future in futures:
+            pid, group_results, task_delta, _elapsed = future.result()
+            results.extend(group_results)
+            delta.merge(task_delta)
+            pids.add(pid)
+        self._absorb_process_batch(pids, delta)
+        report.workers_used = len(pids)
+        report.reads_by_category = dict(sorted(delta.reads.items()))
+        report.decodes_by_kind = dict(sorted(delta.decode_misses.items()))
+        report.cache_hits = delta.cache_hits
+        return results
 
     def run_knn(self, points, k: int, index_name: str = "") -> ServiceReport:
         """Serve a kNN batch: one pool task per query point.
@@ -337,31 +650,66 @@ class QueryService:
             raise ValueError(f"expected (N, 3) points, got {points.shape}")
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
-        version, index = self._current()
+        version, index, spec = self._current()
         report = ServiceReport(
             index_name=index_name or type(index).__name__,
             worker_count=self.worker_count,
+            execution_mode=self._mode,
         )
-        before = self._snapshot_worker_stats()
+        before = {} if self._mode == MODE_PROCESS else self._snapshot_worker_stats()
+        latencies = [0.0] * len(points)
+
+        def stamp(qi: int):
+            t_submit = time.perf_counter()
+
+            def done(_future) -> None:
+                latencies[qi] = time.perf_counter() - t_submit
+
+            return done
 
         t0 = time.perf_counter()
-        futures = [
-            self._pool.submit(self._execute_knn, version, index, p, k)
-            for p in points
-        ]
         results = []
-        for future in futures:
-            hits, plan = future.result()
-            results.append(hits)
-            if plan is not None:
-                report.shard_tasks += len(plan.shards_selected)
-                report.shards_pruned += plan.shards_pruned
+        if self._mode == MODE_PROCESS:
+            futures = []
+            for qi, p in enumerate(points):
+                future = self._pool.submit(
+                    _process_run_knn, version, spec, p, k,
+                    self.clear_cache_per_query,
+                )
+                future.add_done_callback(stamp(qi))
+                futures.append(future)
+            delta = IOStats()
+            pids: set = set()
+            for future in futures:
+                pid, hits, task_delta, _elapsed = future.result()
+                results.append(hits[0])
+                delta.merge(task_delta)
+                pids.add(pid)
+            self._absorb_process_batch(pids, delta)
+            report.workers_used = len(pids)
+            report.reads_by_category = dict(sorted(delta.reads.items()))
+            report.decodes_by_kind = dict(sorted(delta.decode_misses.items()))
+            report.cache_hits = delta.cache_hits
+        else:
+            futures = []
+            for qi, p in enumerate(points):
+                future = self._pool.submit(self._execute_knn, version, index, p, k)
+                future.add_done_callback(stamp(qi))
+                futures.append(future)
+            for future in futures:
+                hits, plan = future.result()
+                results.append(hits)
+                if plan is not None:
+                    report.shard_tasks += len(plan.shards_selected)
+                    report.shards_pruned += plan.shards_pruned
         report.wall_seconds = time.perf_counter() - t0
+        report.latencies_seconds = latencies
 
         report.query_count = len(results)
         report.per_query_results = [len(hits) for hits in results]
         report.result_elements = sum(report.per_query_results)
-        self._aggregate_batch_stats(report, before)
+        if self._mode != MODE_PROCESS:
+            self._aggregate_batch_stats(report, before)
         return report
 
     def _run_scatter_gather(self, version: int, index, queries,
@@ -402,6 +750,14 @@ class QueryService:
         commit is detected and rejected with ``RuntimeError`` (its
         batch is discarded, never silently merged or dropped).  Each
         commit bumps the published version.
+
+        In process mode the fork is additionally *published* as the
+        next on-disk snapshot generation before the swap, so worker
+        processes can restore it; this requires the served index to
+        live on a restored snapshot directory (an mmap-backed store).
+        A commit rejected by the concurrent-commit check may leave its
+        already-published generation orphaned on disk — harmless, since
+        workers only ever restore generations a task names explicitly.
         """
         self._check_open()
         if not hasattr(self._index, "fork"):
@@ -420,6 +776,28 @@ class QueryService:
         if delete_ids is not None and len(delete_ids):
             fork.delete(delete_ids)
             deleted = len(delete_ids)
+        spec = None
+        generation = None
+        if self._mode == MODE_PROCESS:
+            from repro.core.snapshot import publish_fork_generation
+            from repro.storage.pagestore import SnapshotError
+
+            try:
+                directory, generation = publish_fork_generation(
+                    fork, expected_base=self._published_gen
+                )
+            except SnapshotError:
+                # Lineage violations (another publisher advanced the
+                # directory) surface as-is — they are not a setup error.
+                raise
+            except PageStoreError as exc:
+                raise RuntimeError(
+                    "process-mode updates need an index restored from a "
+                    "snapshot directory (worker processes restore committed "
+                    "generations from disk); snapshot_index() + "
+                    "restore_index() first"
+                ) from exc
+            spec = (str(directory), int(generation))
         with self._commit_lock:
             if self._index is not base:
                 # A concurrent commit slipped in between fork and swap;
@@ -432,6 +810,9 @@ class QueryService:
             self._index = fork
             self._version += 1
             version = self._version
+            if spec is not None:
+                self._gen_specs[version] = spec
+                self._published_gen = generation
         return UpdateReport(
             version=version,
             inserted_ids=inserted,
@@ -471,16 +852,32 @@ class QueryService:
             if worker_delta.total_reads or worker_delta.cache_hits:
                 report.workers_used += 1
             delta.merge(worker_delta)
-        report.reads_by_category = dict(delta.reads)
-        report.decodes_by_kind = dict(delta.decode_misses)
+        # Sorted keys: reports of identical batches compare equal (and
+        # serialize identically) regardless of worker scheduling.
+        report.reads_by_category = dict(sorted(delta.reads.items()))
+        report.decodes_by_kind = dict(sorted(delta.decode_misses.items()))
         report.cache_hits = delta.cache_hits
+
+    def _absorb_process_batch(self, pids: set, delta: IOStats) -> None:
+        """Fold one batch's merged worker deltas into lifetime counters."""
+        with self._process_lock:
+            self._process_stats.merge(delta)
+            self._worker_pids.update(pids)
+
+    def _absorb_process_future(self, future) -> None:
+        """Done-callback of a :meth:`submit`-path process task."""
+        if future.cancelled() or future.exception() is not None:
+            return
+        pid, _results, delta, _elapsed = future.result()
+        self._absorb_process_batch({pid}, delta)
 
     # -- introspection --------------------------------------------------
 
     def aggregate_stats(self) -> IOStats:
         """Lifetime I/O counters merged across every worker view.
 
-        Includes the counters of clones retired by update commits.
+        Includes the counters of clones retired by update commits and,
+        in process mode, every delta returned by worker tasks.
         """
         total = IOStats()
         with self._states_lock:
@@ -488,6 +885,8 @@ class QueryService:
             total.merge(self._retired_stats)
         for _engine, store in states:
             total.merge(store.stats)
+        with self._process_lock:
+            total.merge(self._process_stats)
         return total
 
     @property
@@ -497,12 +896,26 @@ class QueryService:
             return self._version
 
     @property
-    def workers_started(self) -> int:
-        """Worker threads that have served at least one query ever.
+    def execution_mode(self) -> str:
+        """``"thread"`` or ``"process"``."""
+        return self._mode
 
-        Counts distinct threads, not engine clones — a thread that
-        rebuilt its clone across update generations still counts once.
+    @property
+    def batch_queries(self) -> int:
+        """Queries grouped per joint-crawl pool task in :meth:`run`."""
+        return self._batch
+
+    @property
+    def workers_started(self) -> int:
+        """Workers that have served at least one query ever.
+
+        Counts distinct threads (thread mode) or worker pids (process
+        mode), not engine clones — a worker that rebuilt its engine
+        across update generations still counts once.
         """
+        if self._mode == MODE_PROCESS:
+            with self._process_lock:
+                return len(self._worker_pids)
         with self._states_lock:
             return len(self._worker_threads)
 

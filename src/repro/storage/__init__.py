@@ -60,6 +60,7 @@ from repro.storage.pagestore import (
 from repro.storage.filestore import (
     FilePageBackend,
     FilePageStore,
+    append_overlay_generation,
     latest_generation,
     list_generations,
     manifest_filename,
@@ -91,6 +92,7 @@ __all__ = [
     "PageStoreError",
     "PageStoreGroup",
     "SnapshotError",
+    "append_overlay_generation",
     "latest_generation",
     "list_generations",
     "manifest_filename",

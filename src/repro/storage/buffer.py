@@ -65,6 +65,16 @@ class BufferPool:
         """Drop every cached page (the paper's cache clearing step)."""
         self._pages.clear()
 
+    def page_ids(self) -> list:
+        """The keys currently resident, in insertion (LRU) order.
+
+        On an unbounded pool cleared before a query this is exactly the
+        set of pages that query has physically read so far — the
+        multi-query crawl uses it to capture the seed phase's charged
+        pages before switching to batched accounting.
+        """
+        return list(self._pages.keys())
+
     @property
     def lookups(self) -> int:
         """Total :meth:`get` calls (hits + misses)."""

@@ -47,7 +47,12 @@ from pathlib import Path
 from repro.storage.buffer import BufferPool
 from repro.storage.constants import PAGE_SIZE
 from repro.storage.decoded_cache import DecodedPageCache
-from repro.storage.pagestore import PageStore, PageStoreError, SnapshotError
+from repro.storage.pagestore import (
+    OverlayPageBackend,
+    PageStore,
+    PageStoreError,
+    SnapshotError,
+)
 from repro.storage.stats import ALL_CATEGORIES
 
 #: Files making up one on-disk page store.
@@ -410,6 +415,127 @@ class FilePageBackend:
     def _check_open(self) -> None:
         if self._closed:
             raise PageStoreError(f"store in {self.directory} is closed")
+
+    # -- pickling --------------------------------------------------------
+    #
+    # A read-only backend pickles as (directory, generation) and
+    # reattaches by reopening the mmap on unpickle.  The page bytes
+    # never travel through the pickle stream: every process maps the
+    # same committed prefix of pages.dat, so the OS page cache is
+    # shared across process-mode serving workers for free.
+
+    def __getstate__(self) -> dict:
+        if self.writable:
+            raise PageStoreError(
+                "cannot pickle a writable file backend; publish a snapshot "
+                "generation and pickle the reopened (read-only) store"
+            )
+        self._check_open()
+        return {"directory": str(self.directory), "generation": self.generation}
+
+    def __setstate__(self, state: dict) -> None:
+        fresh = FilePageBackend.open(state["directory"], state["generation"])
+        self.__dict__.update(fresh.__dict__)
+
+
+def append_overlay_generation(overlay: OverlayPageBackend) -> int:
+    """Publish an overlay's changes as the next generation of its base.
+
+    The overlay must sit on a read-only :class:`FilePageBackend`; its
+    override/tail pages are appended to the base directory's
+    ``pages.dat`` (after truncating any unreachable tail a crashed
+    publisher left behind) and a new manifest generation is published
+    atomically.  The write is *incremental*: a page whose payload
+    already matches what the latest generation maps is not re-appended,
+    so successive commits grow the data file only by the pages they
+    actually changed.  Every earlier generation stays restorable —
+    committed physical pages are never touched.
+
+    Publishing is single-writer: the caller must be the only publisher
+    for the directory (the serving layer serializes commits through
+    ``apply_updates``).  Returns the new generation number.
+    """
+    if not isinstance(overlay, OverlayPageBackend):
+        raise PageStoreError(
+            f"expected an OverlayPageBackend, got {type(overlay).__name__}"
+        )
+    base = overlay.base
+    if not isinstance(base, FilePageBackend):
+        raise PageStoreError(
+            "overlay base is not a file-backed store; only forks of "
+            "restored snapshots can publish generations in place"
+        )
+    directory = base.directory
+    latest = latest_generation(directory)
+    if latest is None:
+        raise SnapshotError(f"no published generations in {directory}")
+    manifest = _load_manifest(directory, latest)
+    physical = int(manifest["physical_page_count"])
+    table = [int(slot) for slot in manifest["page_table"]]
+    if len(table) > len(overlay):
+        raise SnapshotError(
+            f"snapshot directory {directory}: generation {latest} holds "
+            f"{len(table)} pages but the overlay only knows {len(overlay)} — "
+            "another publisher is writing this directory"
+        )
+    categories = list(overlay.iter_categories())
+    tail = overlay.tail_pages()
+    base_len = len(base)
+
+    data_path = directory / PAGES_FILENAME
+    with open(data_path, "r+b") as handle:
+        # Drop bytes no manifest references (a crashed publisher's
+        # half-written tail), then append changed pages at the frontier.
+        handle.truncate(physical * PAGE_SIZE)
+        handle.seek(physical * PAGE_SIZE)
+
+        def changed(slot: int, payload: bytes) -> bool:
+            return os.pread(handle.fileno(), PAGE_SIZE, slot * PAGE_SIZE) != payload
+
+        def append(payload: bytes) -> int:
+            nonlocal physical
+            handle.write(payload)
+            physical += 1
+            return physical - 1
+
+        for page_id in sorted(overlay.overrides):
+            payload = overlay.overrides[page_id]
+            if changed(table[page_id], payload):
+                table[page_id] = append(payload)
+        for offset, (payload, _category) in enumerate(tail):
+            page_id = base_len + offset
+            if page_id < len(table):
+                # Tail page already committed by an earlier generation;
+                # re-append only if rewritten since.
+                if changed(table[page_id], payload):
+                    table[page_id] = append(payload)
+            else:
+                table.append(append(payload))
+        handle.flush()
+        os.fsync(handle.fileno())
+
+    # Same atomic sidecar/manifest publication as commit_generation:
+    # logical pages never change category, so the sidecar stays
+    # append-only in content and older generations read a prefix of it.
+    codes = bytes(_CATEGORY_CODE[c] for c in categories)
+    sidecar = directory / CATEGORIES_FILENAME
+    sidecar_scratch = directory / (CATEGORIES_FILENAME + ".tmp")
+    sidecar_scratch.write_bytes(codes)
+    os.replace(sidecar_scratch, sidecar)
+    generation = latest + 1
+    manifest = {
+        "format_version": STORE_FORMAT_VERSION,
+        "page_size": PAGE_SIZE,
+        "generation": generation,
+        "page_count": len(categories),
+        "physical_page_count": physical,
+        "page_table": table,
+    }
+    target = directory / manifest_filename(generation)
+    scratch = target.parent / (target.name + ".tmp")
+    scratch.write_text(json.dumps(manifest) + "\n")
+    os.replace(scratch, target)
+    return generation
 
 
 class FilePageStore(PageStore):

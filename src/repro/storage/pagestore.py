@@ -179,6 +179,27 @@ class OverlayPageBackend:
     def __len__(self) -> int:
         return self._base_len + len(self._tail)
 
+    # -- publishing introspection ---------------------------------------
+    #
+    # Generation publishing (repro.storage.filestore.append_overlay_generation)
+    # folds an overlay's changes back into its base directory; these
+    # read-only accessors expose exactly what changed.  Treat the
+    # returned containers as frozen.
+
+    @property
+    def base(self):
+        """The read-only backend unchanged pages are served from."""
+        return self._base
+
+    @property
+    def overrides(self) -> dict:
+        """Base page id -> replacement payload, rewritten pages only."""
+        return self._overrides
+
+    def tail_pages(self):
+        """``(payload, category)`` pairs appended past the base, in order."""
+        return list(zip(self._tail, self._tail_categories))
+
 
 class PageStoreGroup:
     """A read-side facade over several stores (one per index shard).

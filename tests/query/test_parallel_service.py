@@ -1,0 +1,274 @@
+"""Process-mode and batched serving pinned to the serial harness.
+
+The contract: whichever execution mode and query grouping serve a
+batch, results (ids, tie-breaks) and cold per-query page-read totals
+are byte-identical to the single-threaded harness — on memory stores
+and on restored mmap-backed file stores — and reports are
+deterministic regardless of worker scheduling.  Decode counters are
+pinned only for the legacy thread/batch=1 path (in test_service.py);
+batched paths legitimately decode less.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import FLATIndex, ShardedFLATIndex, restore_index, snapshot_index
+from repro.query import (
+    MODE_PROCESS,
+    MODE_THREAD,
+    QueryService,
+    run_knn_queries,
+    run_queries,
+)
+from repro.query.workload import random_points, random_range_queries
+from repro.storage import PageStore
+
+SPACE = np.array([0.0, 0.0, 0.0, 100.0, 100.0, 100.0])
+
+
+def random_mbrs(n, seed=0):
+    rng = np.random.default_rng(seed)
+    lo = rng.uniform(0, 100, size=(n, 3))
+    return np.concatenate([lo, lo + rng.uniform(0.01, 2.0, size=(n, 3))], axis=1)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    store = PageStore()
+    flat = FLATIndex.build(store, random_mbrs(3000, seed=1))
+    queries = random_range_queries(SPACE, 0.001, 24, seed=7)
+    serial = run_queries(flat, store, queries, "serial")
+    serial_ids = [flat.range_query(q) for q in queries]
+    return flat, store, queries, serial, serial_ids
+
+
+@pytest.fixture(scope="module")
+def file_setup(tmp_path_factory, setup):
+    flat, _store, queries, _serial, _ids = setup
+    directory = tmp_path_factory.mktemp("snapshot")
+    snapshot_index(flat, directory)
+    restored = restore_index(directory)
+    serial = run_queries(restored, restored.store, queries, "serial-file")
+    yield restored, directory, queries, serial
+    restored.store.close()
+
+
+def assert_pinned(report, serial):
+    assert report.per_query_results == serial.per_query_results
+    assert report.result_elements == serial.result_elements
+    assert report.reads_by_category == serial.reads_by_category
+    assert report.total_page_reads == serial.total_page_reads
+
+
+class TestProcessModePinned:
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_memory_store_matches_serial(self, setup, workers):
+        flat, _store, queries, serial, _ids = setup
+        with QueryService(flat, workers=workers, mode=MODE_PROCESS) as service:
+            report = service.run(queries)
+        assert report.execution_mode == MODE_PROCESS
+        assert_pinned(report, serial)
+
+    def test_file_store_matches_serial(self, file_setup):
+        restored, _directory, queries, serial = file_setup
+        with QueryService(restored, workers=2, mode=MODE_PROCESS) as service:
+            report = service.run(queries)
+        assert_pinned(report, serial)
+
+    def test_submit_returns_exact_ids(self, setup):
+        flat, _store, queries, _serial, serial_ids = setup
+        with QueryService(flat, workers=2, mode=MODE_PROCESS) as service:
+            futures = [service.submit(q) for q in queries]
+            for future, want in zip(futures, serial_ids):
+                assert np.array_equal(future.result(), want)
+            assert service.workers_started >= 1
+            assert service.aggregate_stats().total_reads > 0
+
+    def test_knn_matches_serial_harness(self, setup):
+        flat, store, _queries, _serial, _ids = setup
+        points = random_points(SPACE, 10, seed=3)
+        serial = run_knn_queries(flat, store, points, k=5, index_name="serial")
+        with QueryService(flat, workers=2, mode=MODE_PROCESS) as service:
+            report = service.run_knn(points, k=5)
+        assert report.per_query_results == serial.per_query_results
+        assert report.reads_by_category == serial.reads_by_category
+        assert len(report.latencies_seconds) == len(points)
+
+    def test_warm_serving_reads_fewer_pages(self, setup):
+        flat, _store, queries, serial, _ids = setup
+        with QueryService(
+            flat, workers=1, mode=MODE_PROCESS, clear_cache_per_query=False
+        ) as service:
+            report = service.run(queries)
+        assert report.per_query_results == serial.per_query_results
+        assert report.total_page_reads < serial.total_page_reads
+
+
+class TestBatchedPinned:
+    @pytest.mark.parametrize("mode", [MODE_THREAD, MODE_PROCESS])
+    @pytest.mark.parametrize("batch", [4, 100])
+    def test_batched_matches_serial(self, setup, mode, batch):
+        flat, _store, queries, serial, _ids = setup
+        with QueryService(
+            flat, workers=2, mode=mode, batch_queries=batch
+        ) as service:
+            report = service.run(queries)
+        assert report.batch_queries == batch
+        assert_pinned(report, serial)
+
+    def test_batched_file_store_matches_serial(self, file_setup):
+        restored, _directory, queries, serial = file_setup
+        with QueryService(
+            restored, workers=2, mode=MODE_PROCESS, batch_queries=8
+        ) as service:
+            report = service.run(queries)
+        assert_pinned(report, serial)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("mode", [MODE_THREAD, MODE_PROCESS])
+    def test_repeated_runs_identical(self, setup, mode):
+        # Deltas merge in submission order, never completion order, and
+        # report dicts carry sorted keys — two runs of the same batch
+        # compare equal field by field, key order included.
+        flat, _store, queries, _serial, _ids = setup
+        with QueryService(
+            flat, workers=2, mode=mode, batch_queries=6
+        ) as service:
+            first = service.run(queries)
+            second = service.run(queries)
+        assert first.per_query_results == second.per_query_results
+        assert first.reads_by_category == second.reads_by_category
+        assert list(first.reads_by_category) == sorted(first.reads_by_category)
+        assert first.decodes_by_kind == second.decodes_by_kind
+        assert list(first.decodes_by_kind) == sorted(first.decodes_by_kind)
+        assert first.cache_hits == second.cache_hits
+
+    def test_latencies_tracked_per_query(self, setup):
+        flat, _store, queries, _serial, _ids = setup
+        with QueryService(flat, workers=2, batch_queries=5) as service:
+            report = service.run(queries)
+        assert len(report.latencies_seconds) == len(queries)
+        assert all(lat > 0 for lat in report.latencies_seconds)
+        percentiles = report.latency_percentiles()
+        assert set(percentiles) == {"p50", "p95", "p99"}
+        assert percentiles["p50"] <= percentiles["p95"] <= percentiles["p99"]
+
+
+class TestUpdatesAcrossProcesses:
+    # Each test gets its own snapshot directory: generation publishing
+    # is single-writer per directory, so two services must never share
+    # one (the second would be rejected as a stale publisher — see
+    # append_overlay_generation).
+
+    @pytest.fixture()
+    def own_snapshot(self, setup, tmp_path):
+        flat, _store, queries, _serial, _ids = setup
+        snapshot_index(flat, tmp_path)
+        restored = restore_index(tmp_path)
+        yield restored, tmp_path, queries
+        restored.store.close()
+
+    def test_commit_publishes_generation_workers_restore(self, own_snapshot):
+        restored, directory, queries = own_snapshot
+        inserts = random_mbrs(150, seed=11)
+        with QueryService(
+            restored, workers=2, mode=MODE_PROCESS, batch_queries=4
+        ) as service:
+            update = service.apply_updates(
+                inserts=inserts, delete_ids=np.arange(40)
+            )
+            assert update.version == 1
+            report = service.run(queries)
+        oracle = restore_index(directory)
+        want = run_queries(oracle, oracle.store, queries, "oracle")
+        oracle.store.close()
+        assert_pinned(report, want)
+
+    def test_pre_commit_tasks_see_old_generation(self, own_snapshot):
+        # Tasks capture (version, spec) at submit time: queries already
+        # queued when a commit lands still answer from the generation
+        # they were submitted against — snapshot isolation across
+        # address spaces.
+        restored, directory, queries = own_snapshot
+        old_ids = [restored.range_query(q) for q in queries]
+        with QueryService(restored, workers=1, mode=MODE_PROCESS) as service:
+            futures = [service.submit(q) for q in queries]
+            service.apply_updates(inserts=random_mbrs(80, seed=13))
+            for future, want in zip(futures, old_ids):
+                assert np.array_equal(future.result(), want)
+            post = service.run(queries)
+        oracle = restore_index(directory)
+        want_post = run_queries(oracle, oracle.store, queries, "oracle")
+        oracle.store.close()
+        assert_pinned(post, want_post)
+
+    def test_successive_commits_advance_generations(self, own_snapshot):
+        # Overlays are cumulative, so a service that publishes twice
+        # stays the single writer: commit 2 builds on commit 1's
+        # generation, and every generation stays restorable.
+        restored, directory, queries = own_snapshot
+        with QueryService(
+            restored, workers=2, mode=MODE_PROCESS, batch_queries=4
+        ) as service:
+            first = service.apply_updates(inserts=random_mbrs(60, seed=29))
+            second = service.apply_updates(delete_ids=np.arange(30))
+            assert (first.version, second.version) == (1, 2)
+            report = service.run(queries)
+        oracle = restore_index(directory, generation=2)
+        want = run_queries(oracle, oracle.store, queries, "oracle")
+        oracle.store.close()
+        assert_pinned(report, want)
+
+    def test_stale_base_publisher_rejected(self, own_snapshot):
+        # A second service committing from a generation the directory
+        # has already moved past must be refused, not silently fork the
+        # lineage.
+        restored, directory, _queries = own_snapshot
+        with QueryService(restored, workers=1, mode=MODE_PROCESS) as service:
+            service.apply_updates(inserts=random_mbrs(20, seed=19))
+        stale = restore_index(directory, generation=0)
+        with QueryService(stale, workers=1, mode=MODE_PROCESS) as service:
+            with pytest.raises(Exception, match="publish"):
+                service.apply_updates(inserts=random_mbrs(20, seed=23))
+        stale.store.close()
+
+    def test_memory_store_updates_rejected(self, setup):
+        flat, _store, _queries, _serial, _ids = setup
+        with QueryService(flat, workers=1, mode=MODE_PROCESS) as service:
+            with pytest.raises(RuntimeError, match="snapshot"):
+                service.apply_updates(inserts=random_mbrs(5, seed=17))
+
+
+class TestValidation:
+    def test_sharded_process_mode_rejected(self):
+        sharded = ShardedFLATIndex.build(random_mbrs(600, seed=5), shard_count=2)
+        with pytest.raises(ValueError, match="thread workers only"):
+            QueryService(sharded, mode=MODE_PROCESS)
+
+    def test_sharded_batching_rejected(self):
+        sharded = ShardedFLATIndex.build(random_mbrs(600, seed=5), shard_count=2)
+        with pytest.raises(ValueError, match="monolithic"):
+            QueryService(sharded, batch_queries=4)
+
+    def test_bad_mode_rejected(self, setup):
+        flat, _store, _queries, _serial, _ids = setup
+        with pytest.raises(ValueError, match="mode"):
+            QueryService(flat, mode="fibers")
+
+    def test_bad_batch_rejected(self, setup):
+        flat, _store, _queries, _serial, _ids = setup
+        with pytest.raises(ValueError, match="batch_queries"):
+            QueryService(flat, batch_queries=0)
+
+    def test_engine_without_multi_crawl_rejected(self, setup):
+        flat, _store, _queries, _serial, _ids = setup
+
+        class Plain:
+            store = flat.store
+
+            def range_query(self, query):
+                return np.empty(0, dtype=np.int64)
+
+        with pytest.raises(ValueError, match="range_query_multi"):
+            QueryService(Plain(), batch_queries=2)

@@ -1,0 +1,138 @@
+"""Cross-process plumbing of the file store.
+
+Two properties carry process-mode serving:
+
+* a *read-only* mmap-backed backend pickles as its ``(directory,
+  generation)`` spec and reattaches by remapping — page payloads never
+  cross a pipe, every process shares the OS page cache;
+* ``append_overlay_generation`` publishes a fork's changes
+  copy-on-write — the data file grows only by the pages that actually
+  changed, and every earlier generation stays restorable byte-for-byte.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core import FLATIndex, publish_fork_generation, restore_index, snapshot_index
+from repro.storage import (
+    PAGE_SIZE,
+    FilePageBackend,
+    FilePageStore,
+    PageStore,
+    PageStoreError,
+    list_generations,
+)
+
+
+def random_mbrs(n, seed=0):
+    rng = np.random.default_rng(seed)
+    lo = rng.uniform(0, 100, size=(n, 3))
+    return np.concatenate([lo, lo + rng.uniform(0.01, 2.0, size=(n, 3))], axis=1)
+
+
+@pytest.fixture()
+def snapshot_dir(tmp_path):
+    flat = FLATIndex.build(PageStore(), random_mbrs(1200, seed=3))
+    snapshot_index(flat, tmp_path)
+    return tmp_path
+
+
+class TestBackendPickle:
+    def test_read_only_backend_round_trips(self, snapshot_dir):
+        backend = FilePageBackend.open(snapshot_dir)
+        clone = pickle.loads(pickle.dumps(backend))
+        assert clone.directory == backend.directory
+        assert clone.generation == backend.generation
+        assert len(clone) == len(backend)
+        for page_id in range(len(backend)):
+            assert clone.payload(page_id) == backend.payload(page_id)
+            assert clone.category(page_id) == backend.category(page_id)
+        clone.close()
+        backend.close()
+
+    def test_read_only_store_round_trips(self, snapshot_dir):
+        store = FilePageStore.open(snapshot_dir)
+        clone = pickle.loads(pickle.dumps(store))
+        for page_id in range(len(store)):
+            assert clone.read_silent(page_id) == store.read_silent(page_id)
+        # The clone's caches and stats start fresh — stat isolation is
+        # what lets worker processes report clean per-task deltas.
+        assert clone.stats.total_reads == 0
+        clone.close()
+        store.close()
+
+    def test_restored_index_round_trips(self, snapshot_dir):
+        restored = restore_index(snapshot_dir)
+        clone = pickle.loads(pickle.dumps(restored))
+        query = np.array([20.0, 20, 20, 60, 60, 60])
+        assert np.array_equal(clone.range_query(query), restored.range_query(query))
+        clone.store.close()
+        restored.store.close()
+
+    def test_writable_backend_refuses_pickle(self, tmp_path):
+        backend = FilePageBackend.create(tmp_path)
+        backend.append(bytes(PAGE_SIZE), "object")
+        with pytest.raises(PageStoreError, match="writable"):
+            pickle.dumps(backend)
+        backend.commit_generation()
+        backend.close()
+
+
+class TestCopyOnWritePublish:
+    def test_file_grows_only_by_changed_pages(self, snapshot_dir):
+        data_file = snapshot_dir / "pages.dat"
+        size_before = data_file.stat().st_size
+        restored = restore_index(snapshot_dir)
+        page_count = len(restored.store)
+
+        fork = restored.fork()
+        fork.insert(random_mbrs(30, seed=5))
+        changed = len(fork.store.backend.overrides) + len(
+            fork.store.backend.tail_pages()
+        )
+        directory, generation = publish_fork_generation(fork, expected_base=0)
+        assert (directory, generation) == (snapshot_dir, 1)
+
+        grown = data_file.stat().st_size - size_before
+        assert grown % PAGE_SIZE == 0
+        tail_count = len(fork.store.backend.tail_pages())
+        # Strict copy-on-write: at most the dirtied pages were appended
+        # (fewer, if a rewrite restored identical bytes) — never a full
+        # copy of the committed store alongside the new tail.
+        assert 0 < grown // PAGE_SIZE <= changed
+        assert grown // PAGE_SIZE < page_count + tail_count
+        restored.store.close()
+
+    def test_old_generation_stays_restorable(self, snapshot_dir):
+        restored = restore_index(snapshot_dir)
+        query = np.array([10.0, 10, 10, 70, 70, 70])
+        want = restored.range_query(query)
+        pre_bytes = [
+            restored.store.read_silent(pid) for pid in range(len(restored.store))
+        ]
+
+        fork = restored.fork()
+        fork.insert(random_mbrs(40, seed=7))
+        fork.delete(np.arange(25))
+        publish_fork_generation(fork, expected_base=0)
+        fork_ids = fork.range_query(query)
+        restored.store.close()
+
+        assert list_generations(snapshot_dir)[-1] == 1
+        old = restore_index(snapshot_dir, generation=0)
+        assert np.array_equal(old.range_query(query), want)
+        for pid, payload in enumerate(pre_bytes):
+            assert old.store.read_silent(pid) == payload
+        old.store.close()
+
+        new = restore_index(snapshot_dir, generation=1)
+        assert np.array_equal(new.range_query(query), fork_ids)
+        new.store.close()
+
+    def test_publish_requires_overlay_over_file_store(self, snapshot_dir):
+        memory_index = FLATIndex.build(PageStore(), random_mbrs(300, seed=9))
+        fork = memory_index.fork()
+        with pytest.raises(PageStoreError, match="restored snapshot"):
+            publish_fork_generation(fork)
