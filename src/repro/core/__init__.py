@@ -8,6 +8,7 @@ Public entry point: :class:`~repro.core.flat_index.FLATIndex`.
 >>> hits = index.range_query(query_box)
 """
 
+from repro.core.delta import DeltaIndex
 from repro.core.flat_index import BuildReport, CrawlStats, FLATIndex
 from repro.core.metadata import MetadataRecord, pack_records_into_pages
 from repro.core.multicrawl import crawl_multi
@@ -25,6 +26,7 @@ from repro.core.snapshot import (
 __all__ = [
     "BuildReport",
     "CrawlStats",
+    "DeltaIndex",
     "FLATIndex",
     "MetadataRecord",
     "Partition",

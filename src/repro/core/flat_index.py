@@ -34,7 +34,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.geometry.intersect import boxes_intersect_box
+from repro.geometry.intersect import boxes_intersect_box, pairwise_intersects
 from repro.geometry.mbr import (
     mbr_center,
     mbr_contains_mbr,
@@ -206,6 +206,18 @@ class FLATIndex:
         self._pending_records: list = []
         #: Records retired by merges in the current batch.
         self._dead_records: set = set()
+        #: While a batch is applying, the set of record ids whose links
+        #: need recomputing; :meth:`_refresh_neighbors` parks ids here
+        #: instead of repairing eagerly, and :meth:`_repair_links_bulk`
+        #: settles the whole set once per commit.  ``None`` outside a
+        #: batch (eager repair).
+        self._deferred_links: set | None = None
+        #: Optional :class:`~repro.core.delta.DeltaIndex` overlaid on
+        #: this index's query answers (attached by :meth:`with_delta`).
+        #: The delta lives purely in RAM: its hits are unioned into
+        #: results *after* the crawl, so page-read accounting is
+        #: untouched.
+        self.delta = None
 
     # -- construction ------------------------------------------------------
 
@@ -344,6 +356,24 @@ class FLATIndex:
         # kNN directories are built at most once across all clones no
         # matter who runs the first kNN query.
         clone._knn_state = self._knn_state
+        # Serving clones must answer with the same delta overlay as the
+        # index they were cloned from (the delta itself is read-only
+        # once attached).
+        clone.delta = self.delta
+        return clone
+
+    def with_delta(self, delta) -> "FLATIndex":
+        """A read clone of this index with *delta* overlaid on answers.
+
+        The clone serves the same pages through the same store; only the
+        query methods change — tombstoned ids are masked out of crawl
+        results and the delta memtable's matching elements are unioned
+        in.  *delta* must have been built against this index's id
+        watermark and is treated as immutable once attached (the serving
+        layer publishes a fresh copy per absorbed commit).
+        """
+        clone = self.with_store(self.store)
+        clone.delta = delta
         return clone
 
     def fork(self) -> "FLATIndex":
@@ -439,42 +469,10 @@ class FLATIndex:
         their seed leaves and the seed tree's internal levels are
         repacked once per batch.
         """
-        element_mbrs = validate_mbrs(np.atleast_2d(element_mbrs))
-        new_ids = np.arange(
-            self._next_id, self._next_id + len(element_mbrs), dtype=np.int64
-        )
-        if not len(element_mbrs):
-            return new_ids
-        self._check_mutable()
-        mut = self._ensure_mutable()
-        dirty: set = set()
-        batch_box = mbr_union_many(element_mbrs)
-        if not bool(mbr_contains_mbr(mut.space_mbr, batch_box)):
-            self._grow_space(batch_box, dirty)
-        self._next_id += len(element_mbrs)
-        centers = mbr_center(element_mbrs)
-        # Group the batch by routed record so each touched object page
-        # is decoded and rewritten once per batch, not once per element
-        # (on file stores every rewrite appends a whole physical page).
-        per_record: dict = {}
-        for pos, center in enumerate(centers):
-            per_record.setdefault(self._route(center), []).append(pos)
-        for rid, positions in per_record.items():
-            page_id = int(mut.object_page_ids[rid])
-            ids = np.append(
-                self.object_page_element_ids[page_id], new_ids[positions]
-            )
-            mbrs = np.vstack(
-                [self._page_elements(page_id), element_mbrs[positions]]
-            )
-            self._place(rid, page_id, ids, mbrs, dirty)
-        self.element_count += len(new_ids)
-        self._flush_metadata(dirty)
-        self._invalidate_query_state()
-        return new_ids
+        return self.apply_batch(insert_mbrs=element_mbrs)
 
     def delete(self, element_ids) -> None:
-        """Delete elements by id; unknown ids raise ``ValueError``.
+        """Delete elements by id; unknown ids raise ``KeyError``.
 
         Deletes shrink page MBRs exactly but never shrink partition
         boxes (shrinking could open a coverage gap the crawl would fall
@@ -482,35 +480,134 @@ class FLATIndex:
         merges into the neighbor whose box union grows least, retiring
         its record.
         """
-        element_ids = np.atleast_1d(np.asarray(element_ids, dtype=np.int64))
-        if not len(element_ids):
-            return
+        self.apply_batch(delete_ids=element_ids)
+
+    def apply_batch(
+        self,
+        insert_mbrs: np.ndarray | None = None,
+        delete_ids=None,
+        *,
+        insert_ids: np.ndarray | None = None,
+        next_id: int | None = None,
+    ) -> np.ndarray:
+        """Apply one commit's inserts and deletes as a single bulk pass.
+
+        This is the write path proper: :meth:`insert` and :meth:`delete`
+        are thin wrappers over it, and a delta merge replays its whole
+        memtable through one call.  The batch pays its structural costs
+        once per commit, not once per element —
+
+        * elements are routed to partitions in one vectorized pass and
+          each touched object page is decoded/rewritten once;
+        * link repair is deferred: every box change parks its record id
+          and :meth:`_repair_links_bulk` recomputes the affected
+          adjacency exactly, once, against the batch's *final* partition
+          boxes (links are a pure function of those boxes, so the result
+          is identical to eager per-change repair);
+        * seed leaves are rewritten and the upper levels repacked in the
+          single end-of-batch :meth:`_flush_metadata`.
+
+        ``delete_ids`` must name live elements of this index (ids being
+        inserted by the same call are not yet visible to the delete
+        phase); unknown ids raise ``KeyError`` naming every missing id,
+        duplicates raise ``ValueError``, and validation runs before any
+        state is touched.  An empty batch is a cheap no-op.
+
+        ``insert_ids`` / ``next_id`` let a delta merge replay its
+        already-assigned element ids and advance the id watermark past
+        ids the delta consumed (inserted-then-deleted elements never
+        reach pages but their ids must stay retired).  Returns the
+        inserted elements' ids.
+        """
+        if insert_mbrs is None:
+            insert_mbrs = np.empty((0, 6), dtype=np.float64)
+        insert_mbrs = validate_mbrs(np.atleast_2d(insert_mbrs))
+        if delete_ids is None:
+            delete_ids = np.empty(0, dtype=np.int64)
+        delete_ids = np.atleast_1d(np.asarray(delete_ids, dtype=np.int64))
+        if insert_ids is not None:
+            new_ids = np.atleast_1d(np.asarray(insert_ids, dtype=np.int64))
+            if len(new_ids) != len(insert_mbrs):
+                raise ValueError(
+                    f"insert_ids has {len(new_ids)} ids for "
+                    f"{len(insert_mbrs)} elements"
+                )
+        else:
+            new_ids = np.arange(
+                self._next_id, self._next_id + len(insert_mbrs), dtype=np.int64
+            )
+        if not len(insert_mbrs) and not len(delete_ids):
+            # Cheap no-op: no page, directory or store access.  The
+            # watermark may still advance (a drained delta whose every
+            # insert was deleted again still consumed those ids).
+            if next_id is not None:
+                self._next_id = max(self._next_id, int(next_id))
+            return new_ids
         self._check_mutable()
         mut = self._ensure_mutable()
-        # Validate the whole batch before touching anything: a bad id
-        # must not leave pages half-mutated with the metadata unflushed.
-        unique = set()
-        for eid in element_ids:
-            eid = int(eid)
-            if eid not in mut.element_page:
-                raise ValueError(f"unknown element id {eid}")
-            if eid in unique:
-                raise ValueError(f"duplicate element id {eid} in delete batch")
-            unique.add(eid)
+        # Validate the whole delete batch before touching anything: a
+        # bad id must not leave pages half-mutated with the metadata
+        # unflushed.
+        if len(delete_ids):
+            unique: set = set()
+            missing: list = []
+            for eid in delete_ids:
+                eid = int(eid)
+                if eid in unique:
+                    raise ValueError(
+                        f"duplicate element id {eid} in delete batch"
+                    )
+                unique.add(eid)
+                if eid not in mut.element_page:
+                    missing.append(eid)
+            if missing:
+                raise KeyError(f"unknown element ids: {sorted(missing)}")
         dirty: set = set()
-        # Group by object page: one decode/rewrite per touched page,
-        # with the underflow check running on the page's final count.
-        per_page: dict = {}
-        for eid in element_ids:
-            eid = int(eid)
-            per_page.setdefault(mut.element_page.pop(eid), []).append(eid)
-        for page_id, eids in per_page.items():
-            self._remove_elements(
-                page_id, np.asarray(eids, dtype=np.int64), dirty
-            )
-        self.element_count -= len(element_ids)
+        self._deferred_links = set()
+        try:
+            if len(insert_mbrs):
+                batch_box = mbr_union_many(insert_mbrs)
+                if not bool(mbr_contains_mbr(mut.space_mbr, batch_box)):
+                    self._grow_space(batch_box, dirty)
+                self._next_id = max(self._next_id, int(new_ids.max()) + 1)
+                routed = self._route_batch(mbr_center(insert_mbrs))
+                # Group the batch by routed record so each touched object
+                # page is decoded and rewritten once per batch, not once
+                # per element (on file stores every rewrite appends a
+                # whole physical page).
+                per_record: dict = {}
+                for pos, rid in enumerate(routed):
+                    per_record.setdefault(int(rid), []).append(pos)
+                for rid, positions in per_record.items():
+                    page_id = int(mut.object_page_ids[rid])
+                    ids = np.append(
+                        self.object_page_element_ids[page_id], new_ids[positions]
+                    )
+                    mbrs = np.vstack(
+                        [self._page_elements(page_id), insert_mbrs[positions]]
+                    )
+                    self._place(rid, page_id, ids, mbrs, dirty)
+                self.element_count += len(new_ids)
+            if len(delete_ids):
+                # Group by object page: one decode/rewrite per touched
+                # page, with the underflow check on the page's final count.
+                per_page: dict = {}
+                for eid in delete_ids:
+                    eid = int(eid)
+                    per_page.setdefault(mut.element_page.pop(eid), []).append(eid)
+                for page_id, eids in per_page.items():
+                    self._remove_elements(
+                        page_id, np.asarray(eids, dtype=np.int64), dirty
+                    )
+                self.element_count -= len(delete_ids)
+            self._repair_links_bulk(dirty)
+        finally:
+            self._deferred_links = None
+        if next_id is not None:
+            self._next_id = max(self._next_id, int(next_id))
         self._flush_metadata(dirty)
         self._invalidate_query_state()
+        return new_ids
 
     # -- update internals -----------------------------------------------------
 
@@ -588,6 +685,39 @@ class FLATIndex:
             return int(inside[np.argmin(mbr_volume(mut.partition_mbrs[inside]))])
         return int(live_ids[np.argmin(mbr_distance_to_point(boxes, center))])
 
+    def _route_batch(self, centers: np.ndarray) -> np.ndarray:
+        """Route a whole batch of element centers (:meth:`_route`, vectorized).
+
+        Same per-element answer as :meth:`_route` — smallest containing
+        live partition box, ties to the lowest record id, nearest box
+        for centers outside every partition — computed as a chunked
+        containment matrix instead of one directory scan per element.
+        Chunks bound the matrix at a few million cells, so memory stays
+        flat however large the batch.
+        """
+        mut = self._mut
+        live_ids = self._live_records()
+        boxes = mut.partition_mbrs[live_ids]
+        vols = mbr_volume(boxes)
+        out = np.empty(len(centers), dtype=np.int64)
+        chunk = max(1, 4_000_000 // max(1, len(live_ids)))
+        for start in range(0, len(centers), chunk):
+            sub = centers[start:start + chunk]
+            inside = np.all(
+                (boxes[:, None, :3] <= sub[None, :, :])
+                & (sub[None, :, :] <= boxes[:, None, 3:]),
+                axis=2,
+            )  # (live, sub)
+            # argmin's first-hit tie-break is the lowest record id:
+            # live_ids ascends and vols is aligned to it.
+            best = np.argmin(np.where(inside, vols[:, None], np.inf), axis=0)
+            out[start:start + len(sub)] = live_ids[best]
+            for j in np.flatnonzero(~inside.any(axis=0)):
+                out[start + j] = live_ids[
+                    np.argmin(mbr_distance_to_point(boxes, sub[j]))
+                ]
+        return out
+
     def _grow_space(self, needed: np.ndarray, dirty: set) -> None:
         """Extend the covered space box to enclose *needed*.
 
@@ -615,7 +745,17 @@ class FLATIndex:
             self._refresh_neighbors(rid, dirty)
 
     def _refresh_neighbors(self, rid: int, dirty: set) -> None:
-        """Recompute *rid*'s links exactly; keep symmetry, mark leaves."""
+        """Recompute *rid*'s links exactly; keep symmetry, mark leaves.
+
+        Inside :meth:`apply_batch` the repair is deferred — the id is
+        parked and :meth:`_repair_links_bulk` settles the whole commit's
+        adjacency in one vectorized pass against the final boxes.
+        Neighbor sets are only ever updated in symmetric pairs, so the
+        directory stays symmetric (if stale) between the two.
+        """
+        if self._deferred_links is not None:
+            self._deferred_links.add(int(rid))
+            return
         mut = self._mut
         live_ids = self._live_records()
         hits = live_ids[
@@ -635,6 +775,53 @@ class FLATIndex:
             dirty.add(come)
         mut.neighbors[rid] = new_set
         dirty.add(rid)
+
+    def _repair_links_bulk(self, dirty: set) -> None:
+        """Settle the batch's deferred link repairs in one exact pass.
+
+        Every record whose partition box changed this batch gets its
+        neighbor set recomputed against *all* live partition boxes via
+        a chunked intersection matrix, with symmetric add/remove diffs
+        applied (and the affected leaves marked dirty) exactly as the
+        eager repair would.  A link ``(a, b)`` changes only if ``a``'s
+        or ``b``'s box changed, and any such record is in the deferred
+        set — so recomputing the deferred records' rows repairs the
+        whole adjacency.  Records retired mid-batch were already
+        scrubbed symmetrically by :meth:`_try_merge` and are skipped.
+        """
+        pending = self._deferred_links
+        self._deferred_links = None
+        if not pending:
+            return
+        mut = self._mut
+        live_ids = self._live_records()
+        todo = np.asarray(
+            sorted(rid for rid in pending if mut.live[rid]), dtype=np.int64
+        )
+        if not todo.size:
+            return
+        chunk = max(1, 4_000_000 // max(1, len(live_ids)))
+        for start in range(0, len(todo), chunk):
+            sub = todo[start:start + chunk]
+            hits = pairwise_intersects(
+                mut.partition_mbrs[sub], mut.partition_mbrs[live_ids]
+            )
+            for row, rid in enumerate(sub):
+                rid = int(rid)
+                new_set = {
+                    int(h) for h in live_ids[hits[row]] if int(h) != rid
+                }
+                old_set = mut.neighbors[rid]
+                if new_set == old_set:
+                    continue
+                for gone in old_set - new_set:
+                    mut.neighbors[gone].discard(rid)
+                    dirty.add(gone)
+                for come in new_set - old_set:
+                    mut.neighbors[come].add(rid)
+                    dirty.add(come)
+                mut.neighbors[rid] = new_set
+                dirty.add(rid)
 
     def _set_object_page(self, rid: int, page_id: int, ids: np.ndarray,
                          mbrs: np.ndarray, dirty: set) -> None:
@@ -946,7 +1133,12 @@ class FLATIndex:
         pages_read = set(self.seed_index.last_probe_object_page_ids)
         stats.object_pages_read = len(pages_read)
         if seeded is None:
-            return np.empty(0, dtype=np.int64)
+            # The delta can hold elements outside the crawled space
+            # (e.g. inserts past the committed space box), so the
+            # overlay applies even when seeding found nothing.
+            return self._overlay_delta(
+                np.empty(0, dtype=np.int64), query, stats
+            )
         start_record, _slots = seeded
         stats.seeded = True
 
@@ -992,8 +1184,26 @@ class FLATIndex:
         stats.visited_bytes = stats.records_dequeued * 8
         if not results:
             stats.result_count = 0
-            return np.empty(0, dtype=np.int64)
+            return self._overlay_delta(
+                np.empty(0, dtype=np.int64), query, stats
+            )
         out = np.sort(np.concatenate(results))
+        stats.result_count = len(out)
+        return self._overlay_delta(out, query, stats)
+
+    def _overlay_delta(
+        self, out: np.ndarray, query: np.ndarray, stats: CrawlStats
+    ) -> np.ndarray:
+        """Correct a crawl's sorted result for the attached delta.
+
+        Pure RAM: tombstoned ids drop out, memtable hits merge in, and
+        no store counter moves — so every page-read pin stays byte-exact
+        with or without a delta attached.  ``range_query_scalar`` (the
+        pre-delta reference crawl) deliberately skips this.
+        """
+        if self.delta is None or self.delta.is_empty:
+            return out
+        out = self.delta.overlay(out, query)
         stats.result_count = len(out)
         return out
 
@@ -1067,7 +1277,17 @@ class FLATIndex:
         """
         from repro.core.multicrawl import crawl_multi
 
-        return crawl_multi(self, queries, cold=cold)
+        results = crawl_multi(self, queries, cold=cold)
+        if self.delta is not None and not self.delta.is_empty:
+            queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+            results = [
+                self.delta.overlay(ids, query)
+                for ids, query in zip(results, queries)
+            ]
+            self.last_crawl_stats.result_count = sum(
+                len(ids) for ids in results
+            )
+        return results
 
     def point_query(self, point: np.ndarray) -> np.ndarray:
         """Element ids whose MBR contains *point* (degenerate range query)."""
@@ -1109,11 +1329,19 @@ class FLATIndex:
             stats.object_pages_read = round_stats.object_pages_read
             return ids
 
+        cover = self.covering_mbr()
+        if self.delta is not None and not self.delta.is_empty:
+            # Delta elements can sit outside the committed space; the
+            # radius expansion must know the true covered extent (and
+            # live count) or it could stop before reaching them.
+            extra = self.delta.covering()
+            if extra is not None:
+                cover = mbr_union(cover, extra)
         ids, dists, rounds = expanding_radius_knn(
             point,
             k,
-            element_count=self.element_count,
-            cover=self.covering_mbr(),
+            element_count=self.live_element_count,
+            cover=cover,
             range_query=crawl,
             distances=self._element_distances,
         )
@@ -1126,6 +1354,27 @@ class FLATIndex:
 
     def _element_distances(self, ids: np.ndarray, point: np.ndarray) -> np.ndarray:
         """MBR distances of the given element ids to *point*.
+
+        Ids above the committed watermark live in the delta memtable
+        (crawl results only ever contain committed or delta ids), and
+        their distances come straight from its in-RAM boxes.
+        """
+        if self.delta is not None and not self.delta.is_empty:
+            in_delta = self.delta.contains_ids(ids)
+            if in_delta.any():
+                dists = np.empty(len(ids), dtype=np.float64)
+                dists[in_delta] = self.delta.distances(ids[in_delta], point)
+                if not in_delta.all():
+                    dists[~in_delta] = self._base_element_distances(
+                        ids[~in_delta], point
+                    )
+                return dists
+        return self._base_element_distances(ids, point)
+
+    def _base_element_distances(
+        self, ids: np.ndarray, point: np.ndarray
+    ) -> np.ndarray:
+        """MBR distances of committed element ids to *point*.
 
         Reads go through the store (buffer + decoded cache), so pages
         the crawl just visited cost no further physical I/O.
@@ -1168,6 +1417,40 @@ class FLATIndex:
         return self._knn_state["cover"]
 
     # -- introspection -----------------------------------------------------------
+
+    @property
+    def next_element_id(self) -> int:
+        """The id watermark: the id the next inserted element receives.
+
+        Deleted ids are never reused, so this only ever advances — a
+        :class:`~repro.core.delta.DeltaIndex` built over this index
+        seeds its own watermark from here.
+        """
+        return self._next_id
+
+    @property
+    def live_element_count(self) -> int:
+        """Committed live elements plus the attached delta's net change."""
+        if self.delta is None:
+            return self.element_count
+        return self.element_count + self.delta.element_delta
+
+    def contains_elements(self, element_ids) -> np.ndarray:
+        """Boolean mask of which *element_ids* are live committed elements.
+
+        Answers from the element directory (built lazily, then cached);
+        purely an in-RAM lookup, valid on read-only restored snapshots
+        too.  The attached delta, if any, is *not* consulted — this is
+        the base-index membership test the delta's own delete validation
+        builds on.
+        """
+        element_ids = np.atleast_1d(np.asarray(element_ids, dtype=np.int64))
+        element_page = self._ensure_mutable().element_page
+        return np.fromiter(
+            (int(eid) in element_page for eid in element_ids),
+            dtype=bool,
+            count=len(element_ids),
+        )
 
     @property
     def object_page_count(self) -> int:

@@ -119,6 +119,11 @@ class ShardedFLATIndex:
         #: Crawl bookkeeping of the most recent query, aggregated over
         #: the touched shards.
         self.last_crawl_stats: CrawlStats | None = None
+        #: Optional :class:`~repro.core.delta.DeltaIndex` overlaid on
+        #: the scatter-gather answers (attached by :meth:`with_delta`).
+        #: One delta spans all shards — its ids are global, and its
+        #: contribution merges in after the per-shard gather.
+        self.delta = None
 
     # -- construction ----------------------------------------------------
 
@@ -190,9 +195,22 @@ class ShardedFLATIndex:
                     store=view,
                 )
             )
-        return ShardedFLATIndex(
+        clone = ShardedFLATIndex(
             shards, self.planner, self.element_count, next_id=self._next_id
         )
+        clone.delta = self.delta
+        return clone
+
+    def with_delta(self, delta) -> "ShardedFLATIndex":
+        """A read clone with *delta* overlaid on the scatter-gather.
+
+        See :meth:`FLATIndex.with_delta` — same contract, one delta for
+        the whole shard set (delta batches are buffered globally and
+        routed to shards by centroid only when merged into pages).
+        """
+        clone = self.with_views()
+        clone.delta = delta
+        return clone
 
     def fork(self) -> "ShardedFLATIndex":
         """A copy-on-write clone that can be mutated independently.
@@ -263,69 +281,128 @@ class ShardedFLATIndex:
         local-to-global id map sorted and the ``(distance, id)``
         tie-break consistent between local and global views.
         """
-        element_mbrs = validate_mbrs(np.atleast_2d(element_mbrs))
-        new_ids = np.arange(
-            self._next_id, self._next_id + len(element_mbrs), dtype=np.int64
-        )
-        if not len(element_mbrs):
-            return new_ids
-        self._check_mutable()
-        routing = self._routing_directory()
-        self._next_id += len(element_mbrs)
-        centers = mbr_center(element_mbrs)
-        boxes = self.planner.shard_mbrs
-        per_shard: dict = {}
-        for gid, mbr, center in zip(new_ids, element_mbrs, centers):
-            inside = np.flatnonzero(mbr_contains_point(boxes, center))
-            if inside.size:
-                pos = int(inside[np.argmin(mbr_volume(boxes[inside]))])
-            else:
-                pos = int(np.argmin(mbr_distance_to_point(boxes, center)))
-            if not bool(mbr_contains_mbr(boxes[pos], mbr)):
-                self.planner.widen_shard(pos, mbr)
-                self.shards[pos].mbr = self.planner.shard_mbrs[pos]
-            per_shard.setdefault(pos, []).append((int(gid), mbr))
-            routing[int(gid)] = pos
-        for pos, entries in per_shard.items():
-            shard = self.shards[pos]
-            gids = np.array([gid for gid, _mbr in entries], dtype=np.int64)
-            local = shard.index.insert(np.stack([mbr for _gid, mbr in entries]))
-            if not np.array_equal(local, np.arange(len(shard.element_ids),
-                                                   len(shard.element_ids) + len(gids))):
-                raise AssertionError("shard-local id assignment drifted")
-            shard.element_ids = np.append(shard.element_ids, gids)
-        self.element_count += len(new_ids)
-        return new_ids
+        return self.apply_batch(insert_mbrs=element_mbrs)
 
     def delete(self, element_ids) -> None:
-        """Delete elements by global id; unknown ids raise ``ValueError``."""
-        element_ids = np.atleast_1d(np.asarray(element_ids, dtype=np.int64))
-        if not len(element_ids):
-            return
+        """Delete elements by global id; unknown ids raise ``KeyError``."""
+        self.apply_batch(delete_ids=element_ids)
+
+    def apply_batch(
+        self,
+        insert_mbrs: np.ndarray | None = None,
+        delete_ids=None,
+        *,
+        insert_ids: np.ndarray | None = None,
+        next_id: int | None = None,
+    ) -> np.ndarray:
+        """Apply one commit's inserts and deletes across the shard set.
+
+        The sharded mirror of :meth:`FLATIndex.apply_batch` — and a
+        delta merge's entry point: inserts route to shards by centroid
+        (widening protruding shard boxes so planner pruning stays
+        exact), deletes route through the global directory, and each
+        touched shard absorbs its whole slice of the commit through one
+        inner ``apply_batch`` (one link-repair pass and one metadata
+        flush per shard per commit).  Same contract as the monolithic
+        version: ``delete_ids`` must name live committed elements
+        (``KeyError`` names every missing id, duplicates raise
+        ``ValueError``, validation precedes any mutation), an empty
+        batch is a cheap no-op, and ``insert_ids``/``next_id`` replay a
+        drained delta's assigned ids.
+        """
+        if insert_mbrs is None:
+            insert_mbrs = np.empty((0, 6), dtype=np.float64)
+        insert_mbrs = validate_mbrs(np.atleast_2d(insert_mbrs))
+        if delete_ids is None:
+            delete_ids = np.empty(0, dtype=np.int64)
+        delete_ids = np.atleast_1d(np.asarray(delete_ids, dtype=np.int64))
+        if insert_ids is not None:
+            new_ids = np.atleast_1d(np.asarray(insert_ids, dtype=np.int64))
+            if len(new_ids) != len(insert_mbrs):
+                raise ValueError(
+                    f"insert_ids has {len(new_ids)} ids for "
+                    f"{len(insert_mbrs)} elements"
+                )
+        else:
+            new_ids = np.arange(
+                self._next_id, self._next_id + len(insert_mbrs), dtype=np.int64
+            )
+        if not len(insert_mbrs) and not len(delete_ids):
+            if next_id is not None:
+                self._next_id = max(self._next_id, int(next_id))
+            return new_ids
         self._check_mutable()
         routing = self._routing_directory()
         # Validate before mutating: a bad id must not strand the valid
         # ids of the batch half-removed from the routing directory.
-        unique = set()
-        for gid in element_ids:
+        if len(delete_ids):
+            unique: set = set()
+            missing: list = []
+            for gid in delete_ids:
+                gid = int(gid)
+                if gid in unique:
+                    raise ValueError(
+                        f"duplicate element id {gid} in delete batch"
+                    )
+                unique.add(gid)
+                if gid not in routing:
+                    missing.append(gid)
+            if missing:
+                raise KeyError(f"unknown element ids: {sorted(missing)}")
+
+        per_shard_inserts: dict = {}
+        if len(insert_mbrs):
+            self._next_id = max(self._next_id, int(new_ids.max()) + 1)
+            centers = mbr_center(insert_mbrs)
+            boxes = self.planner.shard_mbrs
+            for gid, mbr, center in zip(new_ids, insert_mbrs, centers):
+                inside = np.flatnonzero(mbr_contains_point(boxes, center))
+                if inside.size:
+                    pos = int(inside[np.argmin(mbr_volume(boxes[inside]))])
+                else:
+                    pos = int(np.argmin(mbr_distance_to_point(boxes, center)))
+                if not bool(mbr_contains_mbr(boxes[pos], mbr)):
+                    self.planner.widen_shard(pos, mbr)
+                    self.shards[pos].mbr = self.planner.shard_mbrs[pos]
+                per_shard_inserts.setdefault(pos, []).append((int(gid), mbr))
+                routing[int(gid)] = pos
+        per_shard_deletes: dict = {}
+        for gid in delete_ids:
             gid = int(gid)
-            if gid not in routing:
-                raise ValueError(f"unknown element id {gid}")
-            if gid in unique:
-                raise ValueError(f"duplicate element id {gid} in delete batch")
-            unique.add(gid)
-        per_shard: dict = {}
-        for gid in element_ids:
-            gid = int(gid)
-            per_shard.setdefault(routing.pop(gid), []).append(gid)
-        for pos, gids in per_shard.items():
+            per_shard_deletes.setdefault(routing.pop(gid), []).append(gid)
+
+        for pos in sorted(set(per_shard_inserts) | set(per_shard_deletes)):
             shard = self.shards[pos]
+            entries = per_shard_inserts.get(pos, [])
+            gids = np.array([gid for gid, _mbr in entries], dtype=np.int64)
+            local_mbrs = (
+                np.stack([mbr for _gid, mbr in entries])
+                if entries
+                else np.empty((0, 6), dtype=np.float64)
+            )
             # element_ids stays sorted (ids are assigned monotonically
             # and deleted slots keep their stale values), so the local
-            # id of a live global id is its searchsorted position.
-            local = np.searchsorted(shard.element_ids, np.asarray(gids))
-            shard.index.delete(local)
-        self.element_count -= len(element_ids)
+            # id of a live global id is its searchsorted position — and
+            # appends leave existing positions untouched, so the delete
+            # slice stays valid while the same call inserts.
+            local_deletes = np.searchsorted(
+                shard.element_ids,
+                np.asarray(per_shard_deletes.get(pos, []), dtype=np.int64),
+            )
+            local = shard.index.apply_batch(
+                insert_mbrs=local_mbrs, delete_ids=local_deletes
+            )
+            if entries:
+                expected = np.arange(
+                    len(shard.element_ids), len(shard.element_ids) + len(gids)
+                )
+                if not np.array_equal(local, expected):
+                    raise AssertionError("shard-local id assignment drifted")
+                shard.element_ids = np.append(shard.element_ids, gids)
+        self.element_count += len(new_ids) - len(delete_ids)
+        if next_id is not None:
+            self._next_id = max(self._next_id, int(next_id))
+        return new_ids
 
     # -- querying --------------------------------------------------------
 
@@ -342,7 +419,7 @@ class ShardedFLATIndex:
             _merge_crawl_stats(stats, shard.index.last_crawl_stats)
             if local.size:
                 parts.append(shard.to_global(local))
-        out = QueryPlanner.merge_sorted_ids(parts)
+        out = QueryPlanner.merge_sorted_ids(parts, delta=self.delta, query=query)
         stats.result_count = len(out)
         self.last_plan = plan
         self.last_crawl_stats = stats
@@ -370,6 +447,16 @@ class ShardedFLATIndex:
         order, shard_dists = self.planner.shards_by_distance(point)
         best_ids = np.empty(0, dtype=np.int64)
         best_dists = np.empty(0, dtype=np.float64)
+        delta = self.delta if self.delta is not None and not self.delta.is_empty else None
+        shard_k = k
+        if delta is not None:
+            # Tombstones can hollow out a shard's local top k, hiding
+            # live elements sitting just behind them — ask each shard
+            # for enough extras to survive the global mask.
+            shard_k = k + delta.tombstone_count
+            ids, dists = delta.knn_candidates(point)
+            keep = np.lexsort((ids, dists))[:k]
+            best_ids, best_dists = ids[keep], dists[keep]
         selected = []
         stats = CrawlStats()
         for sid, shard_dist in zip(order, shard_dists):
@@ -377,11 +464,15 @@ class ShardedFLATIndex:
                 break
             shard = self.shards[sid]
             local, local_dists = shard.index.knn_query(
-                point, k, return_distances=True
+                point, shard_k, return_distances=True
             )
             _merge_crawl_stats(stats, shard.index.last_crawl_stats)
             selected.append(int(sid))
-            ids = np.concatenate([best_ids, shard.to_global(local)])
+            hit_ids = shard.to_global(local)
+            if delta is not None:
+                alive = ~delta.tombstoned(hit_ids)
+                hit_ids, local_dists = hit_ids[alive], local_dists[alive]
+            ids = np.concatenate([best_ids, hit_ids])
             dists = np.concatenate([best_dists, local_dists])
             keep = np.lexsort((ids, dists))[:k]
             best_ids, best_dists = ids[keep], dists[keep]
@@ -466,6 +557,33 @@ class ShardedFLATIndex:
         self.store.close()
 
     # -- introspection ---------------------------------------------------
+
+    @property
+    def next_element_id(self) -> int:
+        """The global id watermark (deleted ids are never reused)."""
+        return self._next_id
+
+    @property
+    def live_element_count(self) -> int:
+        """Committed live elements plus the attached delta's net change."""
+        if self.delta is None:
+            return self.element_count
+        return self.element_count + self.delta.element_delta
+
+    def contains_elements(self, element_ids) -> np.ndarray:
+        """Boolean mask of which global ids are live committed elements.
+
+        Pure in-RAM lookup against the routing directory (built lazily,
+        then cached); the attached delta is *not* consulted — see
+        :meth:`FLATIndex.contains_elements`.
+        """
+        element_ids = np.atleast_1d(np.asarray(element_ids, dtype=np.int64))
+        routing = self._routing_directory()
+        return np.fromiter(
+            (int(gid) in routing for gid in element_ids),
+            dtype=bool,
+            count=len(element_ids),
+        )
 
     @property
     def shard_count(self) -> int:

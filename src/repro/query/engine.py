@@ -20,6 +20,15 @@ implement it by shape, without importing this module.  Engines that
 additionally expose ``last_crawl_stats`` (FLAT) get their per-query BFS
 bookkeeping collected by the harness; page-read and page-decode
 accounting always comes from the backing store's ``stats``.
+
+**Delta overlay contract.**  An engine carrying a non-empty
+:class:`~repro.core.delta.DeltaIndex` (its ``delta`` attribute, see
+:meth:`FLATIndex.with_delta <repro.core.flat_index.FLATIndex.with_delta>`)
+must answer all three methods *as if* the delta were already merged:
+tombstoned ids never appear, memtable elements do.  The correction is
+pure RAM — the overlay applies after the page crawl, so the page-read
+and decode accounting of a delta-carrying engine stays byte-identical
+to the delta-free crawl of the committed base generation.
 """
 
 from __future__ import annotations

@@ -99,13 +99,22 @@ class QueryPlanner:
     # -- merging -------------------------------------------------------
 
     @staticmethod
-    def merge_sorted_ids(parts) -> np.ndarray:
+    def merge_sorted_ids(parts, delta=None, query=None) -> np.ndarray:
         """Merge per-shard sorted id arrays into one sorted result.
 
         Shards partition the element set, so the parts are disjoint and
-        a concatenate-and-sort is an exact merge.
+        a concatenate-and-sort is an exact merge.  When the serving
+        index carries a :class:`~repro.core.delta.DeltaIndex`, the
+        gather point is where its overlay applies — pass the *delta*
+        and the query box and the merged result is corrected in RAM
+        (tombstoned ids dropped, memtable hits for *query* unioned in)
+        without touching any shard's page accounting.
         """
         parts = [part for part in parts if len(part)]
         if not parts:
-            return np.empty(0, dtype=np.int64)
-        return np.sort(np.concatenate(parts))
+            out = np.empty(0, dtype=np.int64)
+        else:
+            out = np.sort(np.concatenate(parts))
+        if delta is not None and not delta.is_empty:
+            out = delta.overlay(out, np.asarray(query, dtype=np.float64))
+        return out

@@ -58,6 +58,24 @@ worker process lazily restores that exact generation the first time a
 post-commit task reaches it — the same isolation guarantee, across
 address spaces.
 
+**The delta layer.**  Restructuring pages on every commit caps ingest
+at a few thousand elements per second.  With ``delta_threshold > 0``
+the service instead runs an LSM-style write path: small batches are
+*absorbed* into an in-RAM :class:`~repro.core.delta.DeltaIndex`
+(memtable + tombstones) attached to the committed base index, and only
+once the buffered delta crosses the threshold (or
+``merge_interval_seconds`` elapses, or :meth:`flush_delta` forces it)
+is the whole delta *merged* into pages through one bulk
+:meth:`~repro.core.flat_index.FLATIndex.apply_batch` on a fork — a
+generation boundary.  Both kinds of commit are full service versions
+with the same copy-on-write discipline (the delta is copied, the copy
+absorbs the batch, the copy is published), so snapshot isolation is
+unchanged; queries against a delta-carrying version answer from the
+committed pages and correct the result in RAM, leaving the paper's
+page-read accounting byte-exact.  In process mode an absorbed commit
+ships ``(directory, generation, pickled delta)`` — workers restore the
+unchanged base generation and attach the delta.
+
 Works with any engine exposing ``range_query`` plus ``store`` and
 ``with_store`` (or ``shards``/``planner``/``with_views`` for the
 sharded layout); page payloads of a published generation are immutable,
@@ -79,6 +97,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.delta import DeltaIndex
 from repro.query.planner import QueryPlanner
 from repro.storage.pagestore import PageStoreError
 from repro.storage.stats import IOStats
@@ -153,6 +172,13 @@ class UpdateReport:
     element_count: int
     #: Fork + mutate + commit wall time.
     wall_seconds: float
+    #: ``True`` when this commit restructured pages (a generation
+    #: boundary); ``False`` when the batch was absorbed into the in-RAM
+    #: delta layer.
+    merged: bool = True
+    #: Buffered delta size (memtable rows + tombstones) after the
+    #: commit; 0 after every merge.
+    delta_elements: int = 0
 
     @property
     def update_count(self) -> int:
@@ -197,8 +223,12 @@ def _process_engine(version: int, spec):
         )
     from repro.core.flat_index import FLATIndex
 
-    directory, generation = spec
+    directory, generation = spec[0], spec[1]
     engine = FLATIndex.restore(directory, generation=generation)
+    if len(spec) > 2 and spec[2] is not None:
+        # An absorbed commit: the base generation on disk is unchanged
+        # and the version's delta travels pickled with the spec.
+        engine = engine.with_delta(pickle.loads(spec[2]))
     engines[version] = engine
     while len(engines) > _PROCESS_KEPT_VERSIONS:
         _stale, old = engines.popitem(last=False)
@@ -329,6 +359,17 @@ class QueryService:
     mp_context:
         Optional :mod:`multiprocessing` context for the process pool
         (defaults to the platform default).
+    delta_threshold:
+        Buffered-work limit (memtable rows + tombstones) of the in-RAM
+        delta layer.  ``0`` (default) disables the layer: every
+        :meth:`apply_updates` merges into pages immediately, the
+        pre-delta behaviour.  Positive values absorb update batches
+        into the delta and merge only once the buffered size reaches
+        the threshold — the LSM-style fast write path.
+    merge_interval_seconds:
+        Optional staleness bound: a commit also merges when this much
+        wall time passed since the last generation boundary, however
+        small the delta.
     """
 
     #: Per-thread engine clones kept for superseded generations: tasks
@@ -338,9 +379,19 @@ class QueryService:
 
     def __init__(self, index, workers: int = 4, clear_cache_per_query: bool = True,
                  mode: str = MODE_THREAD, batch_queries: int = 1,
-                 mp_context=None):
+                 mp_context=None, delta_threshold: int = 0,
+                 merge_interval_seconds: float | None = None):
         if workers <= 0:
             raise ValueError(f"workers must be positive, got {workers}")
+        if delta_threshold < 0:
+            raise ValueError(
+                f"delta_threshold must be >= 0, got {delta_threshold}"
+            )
+        if merge_interval_seconds is not None and merge_interval_seconds <= 0:
+            raise ValueError(
+                "merge_interval_seconds must be positive or None, got "
+                f"{merge_interval_seconds}"
+            )
         if mode not in (MODE_THREAD, MODE_PROCESS):
             raise ValueError(
                 f"mode must be {MODE_THREAD!r} or {MODE_PROCESS!r}, got {mode!r}"
@@ -350,6 +401,15 @@ class QueryService:
                 f"batch_queries must be a positive int, got {batch_queries!r}"
             )
         self._index = index
+        #: The committed, delta-free index (always == ``_index`` while
+        #: no delta is buffered); forks and merges start here.
+        self._base = index
+        #: Buffered :class:`DeltaIndex`, or ``None`` — copy-on-write:
+        #: commits copy it, mutate the copy and publish the copy.
+        self._delta = getattr(index, "delta", None)
+        self.delta_threshold = int(delta_threshold)
+        self.merge_interval_seconds = merge_interval_seconds
+        self._last_merge = time.monotonic()
         self._version = 0
         self.worker_count = workers
         self.clear_cache_per_query = clear_cache_per_query
@@ -371,19 +431,21 @@ class QueryService:
             )
         self._mode = mode
         self._batch = batch_queries
-        #: version -> (directory, generation) snapshot spec a worker
-        #: process can restore that version from.  Generation 0 is
-        #: shipped pickled through the pool initializer, so it needs no
-        #: spec.
+        #: version -> snapshot spec a worker process can restore that
+        #: version from: ``(directory, generation)`` after a merge
+        #: commit, ``(directory, generation, pickled delta)`` after an
+        #: absorbed commit.  Generation 0 is shipped pickled through
+        #: the pool initializer, so it needs no spec.
         self._gen_specs: dict = {0: None}
         #: On-disk generation of the last commit this service published
         #: (initially the served index's own generation, if file-backed)
         #: — pins the single-writer lineage check at publish time.
-        self._published_gen = getattr(
-            getattr(getattr(index, "store", None), "backend", None),
-            "generation",
-            None,
-        )
+        backend = getattr(getattr(index, "store", None), "backend", None)
+        self._published_gen = getattr(backend, "generation", None)
+        #: Snapshot directory of the served index, if file-backed —
+        #: absorbed commits in process mode name it in their spec.
+        directory = getattr(backend, "directory", None)
+        self._snapshot_dir = None if directory is None else str(directory)
         #: Lifetime counters returned by process-worker tasks.
         self._process_stats = IOStats()
         self._worker_pids: set = set()
@@ -498,6 +560,18 @@ class QueryService:
     #: Per-shard sorted ids merge exactly: shards partition the elements.
     _merge_shard_parts = staticmethod(QueryPlanner.merge_sorted_ids)
 
+    def _shard_merge(self, index, query):
+        """The gather-side merge for one scattered query.
+
+        Shard tasks crawl committed pages only; a delta attached to the
+        captured index generation is applied here, at the gather point,
+        so the per-shard accounting never sees it.
+        """
+        delta = getattr(index, "delta", None)
+        if delta is None or delta.is_empty:
+            return self._merge_shard_parts
+        return lambda parts: self._merge_shard_parts(parts, delta, query)
+
     def _check_open(self) -> None:
         if self._closed:
             raise RuntimeError(
@@ -530,7 +604,7 @@ class QueryService:
             self._pool.submit(self._execute_shard, version, index, int(sid), query)
             for sid in shard_ids
         ]
-        return GatherFuture(futures, self._merge_shard_parts)
+        return GatherFuture(futures, self._shard_merge(index, query))
 
     def run(self, queries, index_name: str = "") -> ServiceReport:
         """Serve a whole batch; results aggregate into the report.
@@ -731,31 +805,49 @@ class QueryService:
                 ]
             )
         return [
-            self._merge_shard_parts([future.result() for future in futures])
-            for futures in scattered
+            self._shard_merge(index, query)(
+                [future.result() for future in futures]
+            )
+            for query, futures in zip(queries, scattered)
         ]
 
     # -- updates --------------------------------------------------------
 
-    def apply_updates(self, inserts=None, delete_ids=None) -> UpdateReport:
+    def apply_updates(self, inserts=None, delete_ids=None,
+                      force_merge: bool = False) -> UpdateReport:
         """Atomically apply an insert+delete batch with snapshot isolation.
 
-        The batch mutates a copy-on-write fork of the current
-        generation, so every query in flight keeps reading the old,
-        untouched generation; once the fork is fully updated the commit
-        swaps it in as the new current index.  Queries submitted after
-        the swap see all of the batch, queries submitted before see
-        none of it — never a torn mix.  Updates are expected to flow
-        through a single updater: a second ``apply_updates`` racing a
-        commit is detected and rejected with ``RuntimeError`` (its
-        batch is discarded, never silently merged or dropped).  Each
-        commit bumps the published version.
+        Every commit is a full service version with copy-on-write
+        discipline, in one of two shapes:
 
-        In process mode the fork is additionally *published* as the
-        next on-disk snapshot generation before the swap, so worker
+        * **Absorbed** (``delta_threshold > 0`` and the buffered work
+          stays under it): the batch lands in a *copy* of the current
+          :class:`~repro.core.delta.DeltaIndex` and the commit swaps in
+          the unchanged base index with the new delta attached — no
+          page is touched, which is what makes sustained ingest cheap.
+        * **Merged** (threshold crossed, ``merge_interval_seconds``
+          elapsed, ``force_merge=True``, or ``delta_threshold == 0``):
+          the accumulated delta plus this batch drains through one bulk
+          :meth:`~repro.core.flat_index.FLATIndex.apply_batch` into a
+          copy-on-write fork of the base — a generation boundary whose
+          commit-wide link repair and metadata flush amortize over the
+          whole drained delta.
+
+        Either way, queries in flight keep reading the exact version
+        (pages *and* delta) they captured at submit time; queries
+        submitted after the swap see all of the batch — never a torn
+        mix.  Updates are expected to flow through a single updater: a
+        second ``apply_updates`` racing a commit is detected and
+        rejected with ``RuntimeError`` (its batch is discarded, never
+        silently merged or dropped).
+
+        In process mode a merge additionally *publishes* the fork as
+        the next on-disk snapshot generation before the swap, so worker
         processes can restore it; this requires the served index to
         live on a restored snapshot directory (an mmap-backed store).
-        A commit rejected by the concurrent-commit check may leave its
+        An absorbed commit publishes nothing — its spec names the
+        unchanged base generation plus the pickled delta.  A commit
+        rejected by the concurrent-commit check may leave its
         already-published generation orphaned on disk — harmless, since
         workers only ever restore generations a task names explicitly.
         """
@@ -766,60 +858,135 @@ class QueryService:
                 "(no fork()); serve a FLAT or sharded FLAT index"
             )
         with self._commit_lock:
-            base = self._index
+            base = self._base
+            delta = self._delta
         t0 = time.perf_counter()
-        fork = base.fork()
+        # Absorb the batch into a copy of the delta first, whatever the
+        # commit shape: validation (duplicate/unknown delete ids) is
+        # atomic against RAM state, id assignment continues the base
+        # watermark exactly as a direct apply_batch would, and the
+        # merge path below simply drains the copy.
+        new_delta = (
+            DeltaIndex(next_id=base.next_element_id)
+            if delta is None
+            else delta.copy()
+        )
         inserted = np.empty(0, dtype=np.int64)
         if inserts is not None and len(inserts):
-            inserted = fork.insert(inserts)
+            inserted = new_delta.insert(inserts)
         deleted = 0
         if delete_ids is not None and len(delete_ids):
-            fork.delete(delete_ids)
+            new_delta.delete(delete_ids, base.contains_elements)
             deleted = len(delete_ids)
+        merge = (
+            force_merge
+            or self.delta_threshold <= 0
+            or new_delta.size >= self.delta_threshold
+            or (
+                self.merge_interval_seconds is not None
+                and time.monotonic() - self._last_merge
+                >= self.merge_interval_seconds
+            )
+        )
         spec = None
         generation = None
-        if self._mode == MODE_PROCESS:
-            from repro.core.snapshot import publish_fork_generation
-            from repro.storage.pagestore import SnapshotError
+        if merge:
+            fork = base.fork()
+            drain_ids, drain_mbrs, drain_deletes, next_id = new_delta.drain()
+            fork.apply_batch(
+                insert_mbrs=drain_mbrs,
+                delete_ids=drain_deletes,
+                insert_ids=drain_ids,
+                next_id=next_id,
+            )
+            if self._mode == MODE_PROCESS:
+                from repro.core.snapshot import publish_fork_generation
+                from repro.storage.pagestore import SnapshotError
 
-            try:
-                directory, generation = publish_fork_generation(
-                    fork, expected_base=self._published_gen
+                try:
+                    directory, generation = publish_fork_generation(
+                        fork, expected_base=self._published_gen
+                    )
+                except SnapshotError:
+                    # Lineage violations (another publisher advanced the
+                    # directory) surface as-is — not a setup error.
+                    raise
+                except PageStoreError as exc:
+                    raise RuntimeError(
+                        "process-mode updates need an index restored from a "
+                        "snapshot directory (worker processes restore "
+                        "committed generations from disk); snapshot_index() "
+                        "+ restore_index() first"
+                    ) from exc
+                spec = (str(directory), int(generation))
+            new_index = fork
+        else:
+            new_index = base.with_delta(new_delta)
+            if self._mode == MODE_PROCESS:
+                if self._snapshot_dir is None or self._published_gen is None:
+                    raise RuntimeError(
+                        "process-mode updates need an index restored from a "
+                        "snapshot directory (worker processes restore "
+                        "committed generations from disk); snapshot_index() "
+                        "+ restore_index() first"
+                    )
+                spec = (
+                    self._snapshot_dir,
+                    int(self._published_gen),
+                    pickle.dumps(new_delta),
                 )
-            except SnapshotError:
-                # Lineage violations (another publisher advanced the
-                # directory) surface as-is — they are not a setup error.
-                raise
-            except PageStoreError as exc:
-                raise RuntimeError(
-                    "process-mode updates need an index restored from a "
-                    "snapshot directory (worker processes restore committed "
-                    "generations from disk); snapshot_index() + "
-                    "restore_index() first"
-                ) from exc
-            spec = (str(directory), int(generation))
         with self._commit_lock:
-            if self._index is not base:
-                # A concurrent commit slipped in between fork and swap;
-                # its updates would be silently dropped by publishing
-                # this fork.  Serialize apply_updates callers instead.
+            if self._base is not base or self._delta is not delta:
+                # A concurrent commit slipped in between capture and
+                # swap; its updates would be silently dropped by
+                # publishing this state.  Serialize apply_updates
+                # callers instead.
                 raise RuntimeError(
                     "concurrent apply_updates detected; serialize update "
                     "batches through a single updater"
                 )
-            self._index = fork
+            self._index = new_index
             self._version += 1
             version = self._version
+            if merge:
+                self._base = new_index
+                self._delta = None
+                self._last_merge = time.monotonic()
+            else:
+                self._delta = new_delta
             if spec is not None:
                 self._gen_specs[version] = spec
-                self._published_gen = generation
+                if generation is not None:
+                    self._published_gen = generation
         return UpdateReport(
             version=version,
             inserted_ids=inserted,
             deleted_count=deleted,
-            element_count=fork.element_count,
+            element_count=(
+                new_index.element_count
+                if merge
+                else new_index.live_element_count
+            ),
             wall_seconds=time.perf_counter() - t0,
+            merged=merge,
+            delta_elements=0 if merge else new_delta.size,
         )
+
+    def flush_delta(self) -> UpdateReport | None:
+        """Merge any buffered delta into pages now — a forced generation
+        boundary.  Returns the commit's report, or ``None`` when
+        nothing was buffered."""
+        with self._commit_lock:
+            delta = self._delta
+        if delta is None or delta.is_empty:
+            return None
+        return self.apply_updates(force_merge=True)
+
+    @property
+    def delta_size(self) -> int:
+        """Buffered delta work (memtable rows + tombstones); 0 when none."""
+        with self._commit_lock:
+            return 0 if self._delta is None else self._delta.size
 
     # -- accounting -----------------------------------------------------
 

@@ -82,16 +82,16 @@ class TestRouting:
 
     def test_delete_unknown_id_raises(self):
         index = ShardedFLATIndex.build(random_mbrs(100, seed=5), shard_count=2)
-        with pytest.raises(ValueError, match="unknown element id"):
+        with pytest.raises(KeyError, match="unknown element ids"):
             index.delete([100])
         index.delete([4])
-        with pytest.raises(ValueError, match="unknown element id"):
+        with pytest.raises(KeyError, match="unknown element ids"):
             index.delete([4])
 
     def test_failed_delete_batch_mutates_nothing(self):
         # A bad id must not strand valid ids half-removed from routing.
         index = ShardedFLATIndex.build(random_mbrs(100, seed=6), shard_count=2)
-        with pytest.raises(ValueError, match="unknown element id"):
+        with pytest.raises(KeyError, match=r"unknown element ids: \[999\]"):
             index.delete([7, 8, 999])
         assert index.element_count == 100
         index.delete([7, 8])  # still deletable after the failed batch
@@ -172,7 +172,7 @@ class TestShardedForkAndRestore:
         restored = ShardedFLATIndex.restore(tmp_path / "sh")
         try:
             fork = restored.fork()
-            with pytest.raises(ValueError, match="unknown element id 5"):
+            with pytest.raises(KeyError, match=r"unknown element ids: \[5\]"):
                 fork.delete([10, 5])
             # The failed batch left everything intact.
             assert fork.element_count == 297

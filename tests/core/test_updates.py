@@ -206,18 +206,23 @@ class TestUpdateApi:
 
     def test_delete_unknown_id_raises(self):
         flat = FLATIndex.build(PageStore(), random_mbrs(50, seed=1))
-        with pytest.raises(ValueError, match="unknown element id"):
+        with pytest.raises(KeyError, match="unknown element ids"):
             flat.delete([50])
         flat.delete([7])
-        with pytest.raises(ValueError, match="unknown element id"):
+        with pytest.raises(KeyError, match="unknown element ids"):
             flat.delete([7])  # double delete
+
+    def test_delete_unknown_ids_are_all_named(self):
+        flat = FLATIndex.build(PageStore(), random_mbrs(50, seed=1))
+        with pytest.raises(KeyError, match=r"unknown element ids: \[77, 99\]"):
+            flat.delete([3, 99, 4, 77])
 
     def test_failed_delete_batch_mutates_nothing(self):
         # One bad id must not leave the batch's valid ids half-removed.
         mbrs = random_mbrs(200, seed=2)
         flat = FLATIndex.build(PageStore(), mbrs, page_capacity=PAGE_CAPACITY)
         everything = np.array([-10.0, -10, -10, 120, 120, 120])
-        with pytest.raises(ValueError, match="unknown element id"):
+        with pytest.raises(KeyError, match="unknown element ids"):
             flat.delete([3, 4, 999])
         assert flat.element_count == 200
         assert len(flat.range_query(everything)) == 200
