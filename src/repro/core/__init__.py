@@ -19,6 +19,7 @@ from repro.core.sharded import Shard, ShardedFLATIndex
 from repro.core.snapshot import (
     publish_fork_generation,
     restore_index,
+    ship_index_generation,
     snapshot_generation,
     snapshot_index,
 )
@@ -42,6 +43,7 @@ __all__ = [
     "pack_records_into_pages",
     "publish_fork_generation",
     "restore_index",
+    "ship_index_generation",
     "snapshot_generation",
     "snapshot_index",
 ]

@@ -485,13 +485,37 @@ class ShardedFLATIndex:
 
     # -- persistence -----------------------------------------------------
 
+    @staticmethod
+    def shard_directory(root, shard_id: int) -> Path:
+        """The snapshot subdirectory of one shard under a sharded root.
+
+        Each shard's directory is a complete, self-describing FLAT
+        snapshot (its own ``pages.dat`` and numbered generations) — the
+        unit the distributed serving tier ships to replicas and hands
+        to shard servers.
+        """
+        return Path(root) / _shard_dirname(shard_id)
+
     def snapshot(self, directory) -> Path:
         """Serialize the shard set: manifest + one FLAT snapshot per shard."""
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
         for shard in self.shards:
             snapshot_index(shard.index, directory / _shard_dirname(shard.shard_id))
+        self.write_shard_manifest(directory)
+        return directory
 
+    def write_shard_manifest(self, directory) -> Path:
+        """Publish just the root manifest + array bundle into *directory*.
+
+        The per-shard snapshot directories version themselves (numbered
+        generations published in place by the write path), but the
+        root-level shard boxes, id maps and watermark live here.  The
+        cluster's rolling update calls this after publishing per-shard
+        generations so a fresh :meth:`restore` of the root sees the
+        updated shard set — each shard at its latest generation.
+        """
+        directory = Path(directory)
         offsets = np.zeros(len(self.shards) + 1, dtype=np.int64)
         # Offsets over the raw id maps (stale slots included) — the
         # restored arrays must be positionally identical.
@@ -516,7 +540,13 @@ class ShardedFLATIndex:
 
     @classmethod
     def restore(cls, directory) -> "ShardedFLATIndex":
-        """Reopen a sharded snapshot, every shard over a read-only mmap."""
+        """Reopen a sharded snapshot, every shard over a read-only mmap.
+
+        Each shard restores at its own *latest* published generation —
+        after the cluster's rolling updates publish per-shard
+        generations and :meth:`write_shard_manifest` refreshes the
+        root, a restore here reproduces the fleet's committed state.
+        """
         directory = Path(directory)
         meta_path = directory / SHARD_META_FILENAME
         if not meta_path.exists():

@@ -30,6 +30,7 @@ SN workload).  Malformed directories surface as
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 import numpy as np
@@ -219,6 +220,51 @@ def publish_fork_generation(flat, expected_base: int | None = None) -> tuple:
             "single-writer"
         )
     return directory, generation
+
+
+def ship_index_generation(source_dir, dest_dir, generation=None) -> dict:
+    """Replicate one *index* generation into a replica directory.
+
+    The index-level face of
+    :func:`~repro.storage.filestore.ship_store_generation`: ships the
+    store's incremental page tail, then copies the shipped generation's
+    ``index-NNNNNN.json``/``.npz`` pair so the replica directory is
+    restorable with :func:`restore_index` at exactly that generation.
+    The index files land *before* the store manifest publishes (inside
+    the store ship they land after the page bytes but the manifest is
+    last), preserving the crash rule: a half-shipped replica never
+    exposes a restorable generation it does not fully hold.
+
+    Returns the store ship's transfer accounting plus the index-file
+    bytes under ``index_bytes_sent``.
+    """
+    from repro.storage.filestore import ship_store_generation, latest_generation
+
+    source_dir = Path(source_dir)
+    dest_dir = Path(dest_dir)
+    if generation is None:
+        generation = latest_generation(source_dir)
+        if generation is None:
+            raise SnapshotError(
+                f"no page-store manifest generations in {source_dir}"
+            )
+    index_bytes = 0
+    dest_dir.mkdir(parents=True, exist_ok=True)
+    for name in (index_meta_filename(generation), index_arrays_filename(generation)):
+        source_path = source_dir / name
+        if not source_path.exists():
+            raise SnapshotError(
+                f"snapshot directory {source_dir} has no index files for "
+                f"generation {generation} (missing {name})"
+            )
+        payload = source_path.read_bytes()
+        scratch = dest_dir / (name + ".tmp")
+        scratch.write_bytes(payload)
+        os.replace(scratch, dest_dir / name)
+        index_bytes += len(payload)
+    report = ship_store_generation(source_dir, dest_dir, generation)
+    report["index_bytes_sent"] = index_bytes
+    return report
 
 
 def restore_index(directory, generation=None, buffer=None, decoded=None):

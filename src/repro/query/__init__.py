@@ -1,6 +1,13 @@
 """Query workloads, the engine protocol, the scatter–gather planner,
 the cold-cache harness and the concurrent serving layer."""
 
+from repro.query.cluster import (
+    ClusterError,
+    ClusterReport,
+    ClusterRouter,
+    ClusterUpdateReport,
+    ShardServerHandle,
+)
 from repro.query.engine import CallableEngine, QueryEngine
 from repro.query.benchmarks import (
     BenchmarkSpec,
@@ -34,6 +41,10 @@ from repro.query.workload import random_points, random_range_queries
 __all__ = [
     "BenchmarkSpec",
     "CallableEngine",
+    "ClusterError",
+    "ClusterReport",
+    "ClusterRouter",
+    "ClusterUpdateReport",
     "GatherFuture",
     "MODE_PROCESS",
     "MODE_THREAD",
@@ -48,6 +59,7 @@ __all__ = [
     "SCALED_LSS_FRACTION",
     "SCALED_SN_FRACTION",
     "ServiceReport",
+    "ShardServerHandle",
     "UpdateReport",
     "expanding_radius_knn",
     "lss_benchmark",

@@ -64,6 +64,7 @@ from repro.storage.filestore import (
     latest_generation,
     list_generations,
     manifest_filename,
+    ship_store_generation,
     write_store_snapshot,
 )
 
@@ -96,5 +97,6 @@ __all__ = [
     "latest_generation",
     "list_generations",
     "manifest_filename",
+    "ship_store_generation",
     "write_store_snapshot",
 ]

@@ -538,6 +538,125 @@ def append_overlay_generation(overlay: OverlayPageBackend) -> int:
     return generation
 
 
+def ship_store_generation(source_dir, dest_dir, generation=None) -> dict:
+    """Replicate one store generation from *source_dir* into *dest_dir*.
+
+    The shipping primitive of the distributed serving tier: because
+    ``pages.dat`` is strictly append-only and generations are
+    copy-on-write, a replica that already holds generation *g* needs
+    only the data-file **tail** past its own committed prefix to hold
+    generation *g+n* — unchanged pages are never re-sent.  A fresh
+    (empty) destination receives the full committed prefix once; every
+    later ship moves just the pages the shipped generation appended.
+
+    The copy follows the store's own crash discipline: page bytes and
+    the category sidecar land first, the manifest is written to a temp
+    file and atomically renamed last, so a ship that dies mid-transfer
+    leaves the destination at its previous generation with (at worst)
+    unreferenced tail bytes the next ship truncates.
+
+    The destination must be a prefix of the source's lineage: its
+    latest manifest has to byte-match the source's manifest of the same
+    generation, otherwise the directories diverged (different writer)
+    and the ship is refused with :class:`SnapshotError`.
+
+    Returns transfer accounting: ``generation`` shipped, ``pages_sent``
+    / ``bytes_sent`` over the wire (well, the filesystem), and
+    ``full_copy`` (whether the destination started empty).
+    """
+    source_dir = Path(source_dir)
+    dest_dir = Path(dest_dir)
+    if generation is None:
+        generation = latest_generation(source_dir)
+        if generation is None:
+            raise SnapshotError(
+                f"no page-store manifest generations in {source_dir}"
+            )
+    manifest = _load_manifest(source_dir, generation)
+    physical = int(manifest["physical_page_count"])
+
+    dest_dir.mkdir(parents=True, exist_ok=True)
+    dest_latest = latest_generation(dest_dir)
+    if dest_latest is not None and dest_latest >= generation:
+        raise SnapshotError(
+            f"replica {dest_dir} already holds generation {dest_latest}; "
+            f"cannot ship older-or-equal generation {generation}"
+        )
+    dest_physical = 0
+    if dest_latest is not None:
+        # Lineage check: the replica's latest manifest must be the
+        # source's manifest of the same generation, byte-identical —
+        # otherwise the replica belongs to a different writer history
+        # and its page prefix cannot be trusted.
+        source_twin = source_dir / manifest_filename(dest_latest)
+        if not source_twin.exists():
+            raise SnapshotError(
+                f"replica {dest_dir} holds generation {dest_latest} but the "
+                f"source {source_dir} has no such manifest — diverged lineage"
+            )
+        dest_manifest_path = dest_dir / manifest_filename(dest_latest)
+        if source_twin.read_bytes() != dest_manifest_path.read_bytes():
+            raise SnapshotError(
+                f"replica {dest_dir} generation {dest_latest} does not match "
+                f"the source's — diverged lineage; re-replicate from scratch"
+            )
+        dest_physical = int(_load_manifest(dest_dir, dest_latest)[
+            "physical_page_count"
+        ])
+
+    bytes_sent = 0
+    source_data = source_dir / PAGES_FILENAME
+    if not source_data.exists():
+        raise SnapshotError(
+            f"snapshot directory {source_dir}: missing data file "
+            f"{PAGES_FILENAME}"
+        )
+    with open(source_data, "rb") as src:
+        mode = "r+b" if (dest_dir / PAGES_FILENAME).exists() else "w+b"
+        with open(dest_dir / PAGES_FILENAME, mode) as dst:
+            # Drop any unreferenced tail a dead ship left behind, then
+            # append exactly the pages this generation added.
+            dst.truncate(dest_physical * PAGE_SIZE)
+            dst.seek(dest_physical * PAGE_SIZE)
+            src.seek(dest_physical * PAGE_SIZE)
+            remaining = (physical - dest_physical) * PAGE_SIZE
+            while remaining:
+                chunk = src.read(min(remaining, 1 << 20))
+                if not chunk:
+                    raise SnapshotError(
+                        f"snapshot directory {source_dir}: data file is "
+                        f"shorter than generation {generation}'s "
+                        f"{physical} pages"
+                    )
+                dst.write(chunk)
+                bytes_sent += len(chunk)
+                remaining -= len(chunk)
+            dst.flush()
+            os.fsync(dst.fileno())
+
+    # Sidecar: replicas read a prefix of it per generation, so the
+    # whole (small) file replaces atomically, same as commit_generation.
+    sidecar_bytes = (source_dir / CATEGORIES_FILENAME).read_bytes()
+    sidecar_scratch = dest_dir / (CATEGORIES_FILENAME + ".tmp")
+    sidecar_scratch.write_bytes(sidecar_bytes)
+    os.replace(sidecar_scratch, dest_dir / CATEGORIES_FILENAME)
+    bytes_sent += len(sidecar_bytes)
+
+    manifest_bytes = (source_dir / manifest_filename(generation)).read_bytes()
+    target = dest_dir / manifest_filename(generation)
+    scratch = dest_dir / (target.name + ".tmp")
+    scratch.write_bytes(manifest_bytes)
+    os.replace(scratch, target)
+    bytes_sent += len(manifest_bytes)
+
+    return {
+        "generation": int(generation),
+        "pages_sent": physical - dest_physical,
+        "bytes_sent": bytes_sent,
+        "full_copy": dest_latest is None,
+    }
+
+
 class FilePageStore(PageStore):
     """A :class:`PageStore` whose pages live in an on-disk file.
 

@@ -1,0 +1,23 @@
+"""Shared pytest configuration: Hypothesis profiles.
+
+The "ci" profile — selected by exporting ``HYPOTHESIS_PROFILE=ci``, as
+the GitHub workflow does — drops the per-example deadline (shared CI
+runners stall unpredictably, and a deadline flake fails the build),
+derandomizes so every run replays the same examples, and pins the
+example budget so suite time stays stable.  Local runs keep Hypothesis's
+default randomized profile.
+"""
+
+import os
+
+from hypothesis import settings
+
+settings.register_profile(
+    "ci",
+    deadline=None,
+    derandomize=True,
+    max_examples=60,
+    print_blob=True,
+)
+
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
