@@ -25,6 +25,8 @@ from __future__ import annotations
 import tempfile
 from pathlib import Path
 
+import numpy as np
+
 from bench_common import describe_workload, finish, workload_parser
 from repro.core import FLATIndex
 from repro.data.microcircuit import build_microcircuit
@@ -35,6 +37,7 @@ from repro.query import (
     QueryService,
     SCALED_SN_FRACTION,
     run_queries,
+    trajectory_range_queries,
 )
 from repro.storage import PageStore
 
@@ -52,6 +55,19 @@ PROCESS_BATCH = 30
 #: Cold throughput a ≥4-process-worker run must reach, as a multiple of
 #: the single-worker cold baseline.
 SPEEDUP_GATE = 2.5
+
+#: Cold session throughput the prefetch-enabled run must reach on the
+#: structure-following workload, vs the prefetch-free cold baseline.
+PREFETCH_SPEEDUP_GATE = 1.25
+#: Minimum fraction of the correlated session's logical demand reads
+#: the prefetcher must absorb.
+PREFETCH_HIT_RATE_GATE = 0.25
+#: Allowed throughput loss on the *uncorrelated* workload with
+#: prefetching enabled (the model must gate itself off there).
+UNCORRELATED_TOLERANCE = 0.02
+#: Timed session runs per configuration; the best one is compared
+#: (sub-second single-stream runs are noisy).
+PREFETCH_REPEATS = 3
 
 
 def _serve(index, queries, workers: int, cold: bool, mode: str,
@@ -208,6 +224,192 @@ def run_serving_bench(
     }
 
 
+def _serve_pair(index, queries, session_id: str, repeats: int) -> dict:
+    """Baseline and prefetch-enabled runs of one session, interleaved.
+
+    Every repetition measures the prefetch-free and the prefetch-enabled
+    configuration back to back on fresh services (fresh caches, fresh
+    trajectory model) and the fastest run of each is kept.  Interleaving
+    matters on a shared machine: slow phases (frequency scaling,
+    background load) then hit both configurations alike instead of
+    biasing whichever configuration happened to run second.
+    """
+    best = {False: None, True: None}
+    for _ in range(repeats):
+        for prefetch in (False, True):
+            with QueryService(
+                index, workers=1, clear_cache_per_query=True, prefetch=prefetch
+            ) as service:
+                report = service.run_session(queries, session_id, "flat-session")
+            if (
+                best[prefetch] is None
+                or report.throughput_qps > best[prefetch].throughput_qps
+            ):
+                best[prefetch] = report
+    return {
+        "baseline": _session_report_dict(best[False], False),
+        "prefetch": _session_report_dict(best[True], True),
+    }
+
+
+def _session_report_dict(report, prefetch: bool) -> dict:
+    latency = report.latency_percentiles()
+    return {
+        "prefetch": prefetch,
+        "wall_seconds": report.wall_seconds,
+        "throughput_qps": report.throughput_qps,
+        "latency_ms": {k: v * 1000.0 for k, v in latency.items()},
+        "total_page_reads": report.total_page_reads,
+        "reads_by_category": report.reads_by_category,
+        "prefetch_hits_by_category": report.prefetch_hits_by_category,
+        "total_prefetch_hits": report.total_prefetch_hits,
+        "total_prefetch_reads": report.total_prefetch_reads,
+        "prefetch_staged": report.prefetch_staged,
+        "prefetch_consumed": report.prefetch_consumed,
+        "prefetch_wasted": report.prefetch_wasted,
+        "prefetch_hit_rate": report.prefetch_hit_rate,
+        "result_elements": report.result_elements,
+        "per_query_results": report.per_query_results,
+    }
+
+
+def _accounting_identity(baseline: dict, prefetched: dict) -> bool:
+    """reads + prefetch_hits per category == the prefetch-free reads."""
+    categories = (
+        set(baseline["reads_by_category"])
+        | set(prefetched["reads_by_category"])
+        | set(prefetched["prefetch_hits_by_category"])
+    )
+    return all(
+        prefetched["reads_by_category"].get(c, 0)
+        + prefetched["prefetch_hits_by_category"].get(c, 0)
+        == baseline["reads_by_category"].get(c, 0)
+        for c in categories
+    )
+
+
+def _results_byte_identical(index, queries, session_id: str) -> bool:
+    """Prefetch-enabled served ids == the engine's own, element for element."""
+    expected = [index.range_query(q) for q in queries]
+    with QueryService(
+        index, workers=1, clear_cache_per_query=True, prefetch=True
+    ) as service:
+        return all(
+            np.array_equal(service.submit(q, session_id=session_id).result(), want)
+            for q, want in zip(queries, expected)
+        )
+
+
+def run_prefetch_bench(
+    n_elements: int = N_ELEMENTS,
+    volume_side: float = VOLUME_SIDE,
+    query_count: int = QUERY_COUNT,
+    seed: int = SEED,
+    snapshot_dir: Path | None = None,
+    repeats: int = PREFETCH_REPEATS,
+    speedup_gate: float = PREFETCH_SPEEDUP_GATE,
+    uncorrelated_tolerance: float = UNCORRELATED_TOLERANCE,
+) -> dict:
+    """Trajectory-session serving: prefetch on/off × correlated/uncorrelated.
+
+    The correlated workload walks its boxes along a synthetic neuron
+    branch — the access pattern the trajectory model is built for; the
+    gate requires the prefetch-enabled cold session to beat the
+    prefetch-free cold baseline by :data:`PREFETCH_SPEEDUP_GATE`.  The
+    uncorrelated workload is the ordinary random-SN benchmark — there
+    the model must gate itself off, and throughput must stay within
+    :data:`UNCORRELATED_TOLERANCE` of the baseline.  Both ways, results
+    stay byte-identical and ``demand reads + prefetch hits`` equals the
+    prefetch-free demand reads per page category.
+    """
+    circuit = build_microcircuit(n_elements, side=volume_side, seed=seed)
+    store = PageStore()
+    flat = FLATIndex.build(store, circuit.mbrs(), space_mbr=circuit.space_mbr)
+    correlated = trajectory_range_queries(
+        circuit.space_mbr, SCALED_SN_FRACTION, query_count, seed=seed + 303
+    )
+    uncorrelated = BenchmarkSpec("SN", SCALED_SN_FRACTION, query_count).queries(
+        circuit.space_mbr, seed=seed + 202
+    )
+
+    own_tmp = None
+    if snapshot_dir is None:
+        own_tmp = tempfile.TemporaryDirectory(prefix="flat-snapshot-")
+        snapshot_dir = Path(own_tmp.name)
+    try:
+        flat.snapshot(snapshot_dir)
+        restored = FLATIndex.restore(snapshot_dir)
+        try:
+            runs = {
+                "correlated": _serve_pair(restored, correlated, "corr", repeats),
+                "uncorrelated": _serve_pair(
+                    restored, uncorrelated, "rand", repeats
+                ),
+            }
+            byte_identical = _results_byte_identical(
+                restored, correlated, "verify"
+            )
+        finally:
+            restored.store.close()
+    finally:
+        if own_tmp is not None:
+            own_tmp.cleanup()
+
+    corr, rand = runs["correlated"], runs["uncorrelated"]
+    speedup = (
+        corr["prefetch"]["throughput_qps"] / corr["baseline"]["throughput_qps"]
+    )
+    rand_ratio = (
+        rand["prefetch"]["throughput_qps"] / rand["baseline"]["throughput_qps"]
+    )
+    checks = {
+        "correlated_identical_results": (
+            byte_identical
+            and corr["prefetch"]["per_query_results"]
+            == corr["baseline"]["per_query_results"]
+        ),
+        "uncorrelated_identical_results": (
+            rand["prefetch"]["per_query_results"]
+            == rand["baseline"]["per_query_results"]
+        ),
+        "correlated_read_accounting_identity": _accounting_identity(
+            corr["baseline"], corr["prefetch"]
+        ),
+        "uncorrelated_read_accounting_identity": _accounting_identity(
+            rand["baseline"], rand["prefetch"]
+        ),
+        "prefetch_cold_speedup": speedup >= speedup_gate,
+        "prefetch_hit_rate": (
+            corr["prefetch"]["prefetch_hit_rate"] >= PREFETCH_HIT_RATE_GATE
+        ),
+        "uncorrelated_no_regression": (
+            rand_ratio >= 1.0 - uncorrelated_tolerance
+        ),
+    }
+    for section in runs.values():
+        for run in section.values():
+            del run["per_query_results"]  # bulky; summarized in checks
+    return {
+        "benchmark": "prefetch",
+        "workload": {
+            "benchmark": "SN-trajectory",
+            "n_elements": n_elements,
+            "volume_side": volume_side,
+            "volume_fraction": SCALED_SN_FRACTION,
+            "query_count": query_count,
+            "seed": seed,
+            "repeats": repeats,
+        },
+        "sessions": runs,
+        "prefetch_cold_speedup": speedup,
+        "speedup_gate": speedup_gate,
+        "uncorrelated_qps_ratio": rand_ratio,
+        "uncorrelated_tolerance": uncorrelated_tolerance,
+        "hit_rate_gate": PREFETCH_HIT_RATE_GATE,
+        "checks": checks,
+    }
+
+
 def main(argv=None) -> int:
     parser = workload_parser(
         __doc__.splitlines()[0],
@@ -233,7 +435,57 @@ def main(argv=None) -> int:
         "--snapshot-dir", type=Path, default=None,
         help="where to write the snapshot (default: a temporary directory)",
     )
+    parser.add_argument(
+        "--prefetch", action="store_true",
+        help="run the trajectory-prefetch session benchmark instead of "
+        "the mode/worker sweep (artifact: BENCH_prefetch.json)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=PREFETCH_REPEATS,
+        help="timed session runs per configuration (--prefetch only)",
+    )
+    parser.add_argument(
+        "--speedup-gate", type=float, default=PREFETCH_SPEEDUP_GATE,
+        help="correlated cold-speedup gate for --prefetch; 0 disables "
+        "(CI runners measure scheduling noise, not the prefetcher)",
+    )
+    parser.add_argument(
+        "--uncorrelated-tolerance", type=float,
+        default=UNCORRELATED_TOLERANCE,
+        help="allowed uncorrelated q/s loss for --prefetch; 1 disables",
+    )
     args = parser.parse_args(argv)
+    if args.prefetch:
+        if args.out == Path("BENCH_serving.json"):
+            args.out = Path("BENCH_prefetch.json")
+        report = run_prefetch_bench(
+            args.elements,
+            args.side,
+            args.queries,
+            args.seed,
+            args.snapshot_dir,
+            args.repeats,
+            args.speedup_gate,
+            args.uncorrelated_tolerance,
+        )
+        print(describe_workload(report))
+        for name, section in report["sessions"].items():
+            for label, run in section.items():
+                p50 = run["latency_ms"].get("p50", float("nan"))
+                p95 = run["latency_ms"].get("p95", float("nan"))
+                print(
+                    f"  {name:12s} {label:8s}: {run['throughput_qps']:8.1f} q/s "
+                    f"p50={p50:6.2f}ms p95={p95:6.2f}ms "
+                    f"({run['total_page_reads']} reads, "
+                    f"{run['total_prefetch_hits']} prefetch hits, "
+                    f"hit rate {run['prefetch_hit_rate']:.2f})"
+                )
+        print(
+            f"prefetch cold speedup: {report['prefetch_cold_speedup']:.2f}x "
+            f"(gate {report['speedup_gate']}x); uncorrelated qps ratio "
+            f"{report['uncorrelated_qps_ratio']:.3f}"
+        )
+        return finish(report, args.out)
     report = run_serving_bench(
         args.elements,
         args.side,

@@ -96,6 +96,47 @@ def _reflect_into(points: np.ndarray, lo: np.ndarray, hi: np.ndarray) -> np.ndar
     return lo + folded
 
 
+def branch_path(
+    space_mbr: np.ndarray,
+    steps: int,
+    step_length: float,
+    persistence: float = 0.9,
+    rng: np.random.Generator | None = None,
+    start: np.ndarray | None = None,
+) -> np.ndarray:
+    """Waypoints of one direction-persistent fiber walk through the tissue.
+
+    The same AR(1) heading process that grows branch segments in
+    :func:`grow_neurons`, exposed standalone: analysis sessions *follow*
+    such fibers, so a trajectory workload walks its query boxes along
+    exactly this kind of path.  Returns ``(steps + 1, 3)`` points,
+    reflected back at the volume walls like the fibers themselves.
+    """
+    if steps < 1:
+        raise ValueError(f"steps must be >= 1, got {steps}")
+    if step_length <= 0:
+        raise ValueError(f"step_length must be positive, got {step_length}")
+    if not 0.0 <= persistence <= 1.0:
+        raise ValueError(f"persistence must be within [0, 1], got {persistence}")
+    space_mbr = np.asarray(space_mbr, dtype=np.float64)
+    lo, hi = space_mbr[:3], space_mbr[3:]
+    rng = np.random.default_rng() if rng is None else rng
+    if start is None:
+        start = rng.uniform(lo, hi)
+    start = np.asarray(start, dtype=np.float64).reshape(3)
+
+    direction = _random_units(rng, 1)[0]
+    points = np.empty((steps + 1, 3), dtype=np.float64)
+    points[0] = start
+    for t in range(steps):
+        noise = _random_units(rng, 1)[0]
+        direction = persistence * direction + (1.0 - persistence) * noise
+        norm = np.linalg.norm(direction)
+        direction = direction / (norm if norm else 1.0)
+        points[t + 1] = points[t] + direction * step_length
+    return _reflect_into(points, lo, hi)
+
+
 def grow_neurons(
     somata: np.ndarray,
     config: MorphologyConfig,

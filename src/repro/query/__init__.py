@@ -28,6 +28,12 @@ from repro.query.executor import (
 )
 from repro.query.knn import expanding_radius_knn
 from repro.query.planner import QueryPlan, QueryPlanner
+from repro.query.prefetch import (
+    PrefetchArea,
+    PrefetchConfig,
+    Prefetcher,
+    TrajectoryModel,
+)
 from repro.query.service import (
     GatherFuture,
     MODE_PROCESS,
@@ -36,7 +42,11 @@ from repro.query.service import (
     ServiceReport,
     UpdateReport,
 )
-from repro.query.workload import random_points, random_range_queries
+from repro.query.workload import (
+    random_points,
+    random_range_queries,
+    trajectory_range_queries,
+)
 
 __all__ = [
     "BenchmarkSpec",
@@ -50,6 +60,9 @@ __all__ = [
     "MODE_THREAD",
     "PAPER_LSS_FRACTION",
     "PAPER_SN_FRACTION",
+    "PrefetchArea",
+    "PrefetchConfig",
+    "Prefetcher",
     "QUERY_COUNT",
     "QueryEngine",
     "QueryPlan",
@@ -60,6 +73,7 @@ __all__ = [
     "SCALED_SN_FRACTION",
     "ServiceReport",
     "ShardServerHandle",
+    "TrajectoryModel",
     "UpdateReport",
     "expanding_radius_knn",
     "lss_benchmark",
@@ -70,4 +84,5 @@ __all__ = [
     "run_queries",
     "run_queries_grouped",
     "sn_benchmark",
+    "trajectory_range_queries",
 ]

@@ -74,6 +74,7 @@ import numpy as np
 
 from repro.geometry.mbr import point_as_box
 from repro.query.planner import QueryPlan, QueryPlanner
+from repro.query.prefetch import PrefetchConfig, Prefetcher, TrajectoryModel
 
 # repro.core imports stay function-local: repro.core.flat_index imports
 # repro.query at module level, so a top-level import here would close an
@@ -107,6 +108,24 @@ class ClusterError(RuntimeError):
 # discipline as QueryService), over the single shared mmap.
 
 
+class _ConnectionState:
+    """One connection's per-generation clones and prefetch machinery.
+
+    Sessions live on the connection: a router funnels all its sessions
+    through its single connection to each server, so the per-session
+    trajectory models need no cross-connection sharing (and no locks —
+    each connection is served by exactly one handler thread).
+    """
+
+    def __init__(self):
+        #: generation -> (engine clone, stat-isolated store view).
+        self.engines: dict = {}
+        #: generation -> :class:`Prefetcher` over that engine's store.
+        self.prefetchers: dict = {}
+        #: session id -> {"model": TrajectoryModel, "covered": window}.
+        self.sessions: dict = {}
+
+
 class _ShardServer:
     """In-process state of one shard server."""
 
@@ -116,6 +135,7 @@ class _ShardServer:
         self.shard_dir = Path(shard_dir)
         self.stopping = threading.Event()
         self._swap_lock = threading.Lock()
+        self.prefetch_config = PrefetchConfig()
         index = restore_index(self.shard_dir, generation=generation)
         #: ``(generation, index, local->global id map)`` — swapped
         #: atomically by ``reload``; handlers read it once per request.
@@ -127,7 +147,7 @@ class _ShardServer:
 
     # -- per-connection engine clones ----------------------------------
 
-    def _engine(self, engines: dict) -> tuple:
+    def _engine(self, state: _ConnectionState) -> tuple:
         """This connection's engine for the currently served generation.
 
         Clones are keyed by generation: after a reload, the next
@@ -136,29 +156,86 @@ class _ShardServer:
         fork-swap.
         """
         generation, index, element_ids = self.current
-        state = engines.get(generation)
-        if state is None:
+        entry = state.engines.get(generation)
+        if entry is None:
             store = index.store.view()
-            state = engines[generation] = (index.with_store(store), store)
-        return state[0], state[1], element_ids
+            entry = state.engines[generation] = (index.with_store(store), store)
+        return generation, index, entry[0], entry[1], element_ids
+
+    # -- prefetching ----------------------------------------------------
+
+    def _session_hint(self, state: _ConnectionState, session_id, query):
+        """Observe *query* for the session; a staging window when due.
+
+        The same covered-window discipline as
+        :meth:`QueryService._session_hint
+        <repro.query.service.QueryService._session_hint>`: one staging
+        crawl covers a multi-step lookahead window and re-prefetching
+        waits until the prediction walks out of it.
+        """
+        entry = state.sessions.get(session_id)
+        if entry is None:
+            entry = state.sessions[session_id] = {
+                "model": TrajectoryModel(self.prefetch_config),
+                "covered": None,
+            }
+        model = entry["model"]
+        model.observe(query)
+        next_box = model.predict()
+        if next_box is None:
+            entry["covered"] = None
+            return None
+        covered = entry["covered"]
+        if (
+            covered is not None
+            and np.all(covered[:3] <= next_box[:3])
+            and np.all(covered[3:] >= next_box[3:])
+        ):
+            return None
+        window = model.predict(self.prefetch_config.lookahead)
+        entry["covered"] = window
+        return window
+
+    def _prefetcher(self, state: _ConnectionState, generation: int,
+                    index, store) -> Prefetcher:
+        prefetcher = state.prefetchers.get(generation)
+        if prefetcher is None:
+            prefetcher = state.prefetchers[generation] = Prefetcher(
+                index, self.prefetch_config
+            )
+            prefetcher.attach_store(store)
+        return prefetcher
 
     # -- request dispatch ----------------------------------------------
 
-    def dispatch(self, request: tuple, engines: dict):
+    def dispatch(self, request: tuple, state: _ConnectionState):
         kind = request[0]
         if kind == "range":
-            _kind, query, cold = request
-            engine, store, element_ids = self._engine(engines)
+            _kind, query, cold, session_id = request
+            generation, index, engine, store, element_ids = self._engine(state)
+            query = np.asarray(query, dtype=np.float64)
+            hint = None
+            if session_id is not None:
+                # Creating the prefetcher up front attaches the staging
+                # area before the demand crawl, so hits from earlier
+                # windows are absorbed from the first query on.
+                prefetcher = self._prefetcher(state, generation, index, store)
+                hint = self._session_hint(state, session_id, query)
             before = store.stats.snapshot()
             if cold:
                 store.clear_cache()
-            local = engine.range_query(np.asarray(query, dtype=np.float64))
-            reads = dict(store.stats.diff(before).reads)
+            local = engine.range_query(query)
+            diff = store.stats.diff(before)
+            if hint is not None:
+                try:
+                    prefetcher.prefetch(hint)
+                except Exception:  # prediction must never fail a query
+                    pass
             hits = element_ids[local] if local.size else _EMPTY_IDS
-            return hits, reads
+            return hits, dict(diff.reads), dict(diff.prefetch_hits)
         if kind == "knn":
             _kind, point, k, cold = request
-            engine, store, element_ids = self._engine(engines)
+            _gen, _index, engine, store, element_ids = self._engine(state)
             if cold:
                 store.clear_cache()
             local, dists = engine.knn_query(
@@ -193,7 +270,7 @@ class _ShardServer:
         raise ValueError(f"unknown cluster request {kind!r}")
 
     def serve_connection(self, conn, listener) -> None:
-        engines: dict = {}
+        state = _ConnectionState()
         try:
             while True:
                 try:
@@ -201,7 +278,7 @@ class _ShardServer:
                 except _DEAD_SERVER_ERRORS:
                     return
                 try:
-                    reply = self.dispatch(request, engines)
+                    reply = self.dispatch(request, state)
                 except Exception as exc:  # server must outlive bad requests
                     try:
                         conn.send(("error", f"{type(exc).__name__}: {exc}"))
@@ -349,13 +426,24 @@ class ClusterReport:
     shards_pruned: int = 0
     #: Physical page reads summed over every server's reply accounting.
     reads_by_category: dict = field(default_factory=dict)
+    #: Demand reads absorbed by server-side prefetch areas, by category
+    #: — kept separate from physical reads so the accounting identity
+    #: ``reads + prefetch_hits == prefetch-free reads`` is checkable at
+    #: the router.
+    prefetch_hits_by_category: dict = field(default_factory=dict)
     per_query_results: list = field(default_factory=list)
+    #: Session id the batch was served under (``None`` = no prefetching).
+    session_id: str | None = None
     #: Servers the router declared dead while serving this batch.
     servers_lost: int = 0
 
     @property
     def total_page_reads(self) -> int:
         return sum(self.reads_by_category.values())
+
+    @property
+    def total_prefetch_hits(self) -> int:
+        return sum(self.prefetch_hits_by_category.values())
 
     @property
     def throughput_qps(self) -> float:
@@ -593,8 +681,14 @@ class ClusterRouter:
 
     # -- querying -------------------------------------------------------
 
-    def range_query(self, query: np.ndarray) -> np.ndarray:
-        """Scatter the box to the selected servers, gather sorted ids."""
+    def range_query(self, query: np.ndarray,
+                    session_id: str | None = None) -> np.ndarray:
+        """Scatter the box to the selected servers, gather sorted ids.
+
+        With a *session_id*, every touched server also feeds the box to
+        its per-session trajectory model and warms its buffer pool for
+        the predicted next box — results are byte-identical either way.
+        """
         self._check_open()
         query = np.asarray(query, dtype=np.float64)
         selected = self.planner.shards_for_box(query)
@@ -603,9 +697,10 @@ class ClusterRouter:
         )
         cold = self.clear_cache_per_query
         replies = self._request_many(
-            [(int(pos), ("range", query, cold)) for pos in selected]
+            [(int(pos), ("range", query, cold, session_id))
+             for pos in selected]
         )
-        parts = [ids for ids, _reads in replies]
+        parts = [ids for ids, _reads, _hits in replies]
         return QueryPlanner.merge_sorted_ids(
             parts, delta=self.delta, query=query
         )
@@ -665,7 +760,8 @@ class ClusterRouter:
             return best_ids, best_dists
         return best_ids
 
-    def run(self, queries: np.ndarray) -> tuple:
+    def run(self, queries: np.ndarray,
+            session_id: str | None = None) -> tuple:
         """Serve a whole range batch; returns ``(results, report)``.
 
         Every (query, touched shard) pair becomes one pipelined server
@@ -673,12 +769,18 @@ class ClusterRouter:
         so the shard servers crawl concurrently and aggregate
         throughput scales with the fleet size.  Results come back in
         request order, merged per query at the gather point.
+
+        A *session_id* is forwarded with every request: each server
+        then runs its own trajectory model over the boxes it sees and
+        prefetches for the predicted next one.  The per-server replies
+        keep prefetch hits separate from physical reads, and the report
+        aggregates both without mixing them.
         """
         self._check_open()
         queries = np.asarray(queries, dtype=np.float64)
         if queries.ndim != 2 or queries.shape[1] != 6:
             raise ValueError(f"expected (N, 6) query boxes, got {queries.shape}")
-        report = ClusterReport()
+        report = ClusterReport(session_id=session_id)
         lost_before = self.servers_lost
         requests: list = []
         spans: list = []
@@ -689,19 +791,23 @@ class ClusterRouter:
             report.shard_requests += len(selected)
             report.shards_pruned += self.shard_count - len(selected)
             requests.extend(
-                (int(pos), ("range", query, cold)) for pos in selected
+                (int(pos), ("range", query, cold, session_id))
+                for pos in selected
             )
         t0 = time.perf_counter()
         replies = self._request_many(requests)
         report.wall_seconds = time.perf_counter() - t0
         reads: dict = {}
+        prefetch_hits: dict = {}
         results = []
         for start, count, query in spans:
             parts = []
-            for ids, part_reads in replies[start:start + count]:
+            for ids, part_reads, part_hits in replies[start:start + count]:
                 parts.append(ids)
                 for category, n in part_reads.items():
                     reads[category] = reads.get(category, 0) + n
+                for category, n in part_hits.items():
+                    prefetch_hits[category] = prefetch_hits.get(category, 0) + n
             results.append(QueryPlanner.merge_sorted_ids(
                 parts, delta=self.delta, query=query
             ))
@@ -709,6 +815,7 @@ class ClusterRouter:
         report.per_query_results = [len(ids) for ids in results]
         report.result_elements = sum(report.per_query_results)
         report.reads_by_category = dict(sorted(reads.items()))
+        report.prefetch_hits_by_category = dict(sorted(prefetch_hits.items()))
         report.servers_lost = self.servers_lost - lost_before
         return results, report
 

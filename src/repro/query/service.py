@@ -76,6 +76,26 @@ page-read accounting byte-exact.  In process mode an absorbed commit
 ships ``(directory, generation, pickled delta)`` — workers restore the
 unchanged base generation and attach the delta.
 
+**Trajectory prefetching.**  Spatial analysis sessions issue box after
+box along latent structures, so consecutive queries are strongly
+correlated (SCOUT, PVLDB 2012).  With ``prefetch=True`` the service
+tracks each session's recent boxes in a per-session
+:class:`~repro.query.prefetch.TrajectoryModel` (queries name their
+session via ``session_id`` on :meth:`submit` / :meth:`run_session`),
+extrapolates the next box, and warms the worker stores *before* that
+query arrives: in thread mode a dedicated background thread crawls the
+predicted box on a never-cleared staging clone and stages every touched
+page into a shared :class:`~repro.query.prefetch.PrefetchArea`; in
+process mode the prediction piggybacks on the query dispatch as a
+*warm hint* the worker processes after answering, staging into its
+process-local area.  The foreground query is never blocked or
+reordered — prefetching is strictly off the critical path.  Demand
+accounting stays meaningful: a staged page consumed by a query counts
+as a ``prefetch_hit`` in its category (never a physical read), so
+``demand reads + prefetch hits`` equals the reads of a prefetch-free
+run byte-for-byte, results are byte-identical, and the prefetcher's
+own I/O is reported separately (see :mod:`repro.query.prefetch`).
+
 Works with any engine exposing ``range_query`` plus ``store`` and
 ``with_store`` (or ``shards``/``planner``/``with_views`` for the
 sharded layout); page payloads of a published generation are immutable,
@@ -99,6 +119,7 @@ import numpy as np
 
 from repro.core.delta import DeltaIndex
 from repro.query.planner import QueryPlanner
+from repro.query.prefetch import PrefetchConfig, Prefetcher, TrajectoryModel
 from repro.storage.pagestore import PageStoreError
 from repro.storage.stats import IOStats
 
@@ -137,10 +158,47 @@ class ServiceReport:
     #: Shard executions skipped by planner pruning, summed over queries.
     shards_pruned: int = 0
     per_query_results: list = field(default_factory=list)
+    #: Session the batch belonged to (``run_session`` only).
+    session_id: str | None = None
+    #: Whether the serving service had trajectory prefetching on.
+    prefetch_enabled: bool = False
+    #: Demand reads absorbed by staged prefetched pages, per category.
+    #: Separate from :attr:`reads_by_category` so the paper's exactness
+    #: pins stay meaningful: ``reads + prefetch_hits`` per category
+    #: equals the reads of a prefetch-disabled run.
+    prefetch_hits_by_category: dict = field(default_factory=dict)
+    #: Physical page reads the *prefetcher* performed, per category —
+    #: reads moved earlier, never part of the demand totals.
+    prefetch_reads_by_category: dict = field(default_factory=dict)
+    #: Pages staged into prefetch areas during this batch.
+    prefetch_staged: int = 0
+    #: Staged pages consumed by demand reads during this batch.
+    prefetch_consumed: int = 0
 
     @property
     def total_page_reads(self) -> int:
         return sum(self.reads_by_category.values())
+
+    @property
+    def total_prefetch_hits(self) -> int:
+        """Demand reads absorbed by prefetched pages."""
+        return sum(self.prefetch_hits_by_category.values())
+
+    @property
+    def total_prefetch_reads(self) -> int:
+        """Physical reads the prefetcher performed on its own store."""
+        return sum(self.prefetch_reads_by_category.values())
+
+    @property
+    def prefetch_wasted(self) -> int:
+        """Pages staged during this batch but (so far) never consumed."""
+        return max(0, self.prefetch_staged - self.prefetch_consumed)
+
+    @property
+    def prefetch_hit_rate(self) -> float:
+        """Fraction of logical demand reads absorbed by prefetching."""
+        logical = self.total_page_reads + self.total_prefetch_hits
+        return self.total_prefetch_hits / logical if logical else 0.0
 
     @property
     def throughput_qps(self) -> float:
@@ -199,14 +257,57 @@ class UpdateReport:
 #: Engine generations alive in this worker process (version -> engine).
 _PROCESS_ENGINES: OrderedDict | None = None
 
+#: Per-generation trajectory prefetchers of this worker process
+#: (version -> Prefetcher), populated only when the service enabled
+#: prefetching; each generation's engine store consumes from its own
+#: prefetcher's process-local area.
+_PROCESS_PREFETCHERS: dict | None = None
+
+#: Prefetch knobs shipped through the pool initializer (None = off).
+_PROCESS_PREFETCH_CONFIG: PrefetchConfig | None = None
+
 #: Generations a worker keeps warm before closing the oldest (matches
 #: the thread pool's per-thread clone retention).
 _PROCESS_KEPT_VERSIONS = 4
 
 
-def _process_worker_init(payload: bytes) -> None:
-    global _PROCESS_ENGINES
+def _process_worker_init(payload: bytes, prefetch_config=None) -> None:
+    global _PROCESS_ENGINES, _PROCESS_PREFETCHERS, _PROCESS_PREFETCH_CONFIG
     _PROCESS_ENGINES = OrderedDict([(0, pickle.loads(payload))])
+    _PROCESS_PREFETCH_CONFIG = prefetch_config
+    _PROCESS_PREFETCHERS = {}
+
+
+def _process_prefetcher(version: int):
+    """This process's prefetcher for one generation (None when off)."""
+    if _PROCESS_PREFETCH_CONFIG is None:
+        return None
+    prefetcher = _PROCESS_PREFETCHERS.get(version)
+    if prefetcher is None:
+        engine = _PROCESS_ENGINES[version]
+        prefetcher = Prefetcher(engine, _PROCESS_PREFETCH_CONFIG)
+        prefetcher.attach_store(engine.store)
+        _PROCESS_PREFETCHERS[version] = prefetcher
+        for stale in [v for v in _PROCESS_PREFETCHERS if v not in _PROCESS_ENGINES]:
+            del _PROCESS_PREFETCHERS[stale]
+    return prefetcher
+
+
+def _process_prefetch_delta(prefetcher, io_before, counters_before) -> dict:
+    """Prefetch accounting accrued since the given snapshots.
+
+    Snapshots are taken at task start, so the delta covers both the
+    demand phase (where staged pages are *consumed*) and the hint crawl
+    (where pages are *staged*); a worker process runs its tasks
+    serially, so per-task intervals tile its timeline exactly.
+    """
+    io_delta = prefetcher.io_stats().diff(io_before)
+    counters = prefetcher.counters()
+    return {
+        "reads": io_delta.reads,
+        "staged": counters["staged"] - counters_before["staged"],
+        "consumed": counters["consumed"] - counters_before["consumed"],
+    }
 
 
 def _process_engine(version: int, spec):
@@ -239,12 +340,23 @@ def _process_engine(version: int, spec):
 
 
 def _process_run_group(version: int, spec, queries, cold: bool,
-                       batched: bool) -> tuple:
+                       batched: bool, hint=None) -> tuple:
     """Serve one query group in a worker process.
 
-    Returns ``(pid, per-query id arrays, IOStats delta, exec seconds)``.
+    Returns ``(pid, per-query id arrays, IOStats delta, prefetch info,
+    exec seconds)``.  *hint* is an optional predicted next box: the
+    worker warms its process-local prefetch area with it *after*
+    answering the demand queries (the warm hint piggybacks on the
+    dispatch — prefetching never blocks the foreground query).
     """
     engine = _process_engine(version, spec)
+    # Created before the demand work: the demand store must consult
+    # this generation's area from the very first task.
+    prefetcher = _process_prefetcher(version)
+    pf_io = pf_counters = None
+    if prefetcher is not None:
+        pf_io = prefetcher.io_stats()
+        pf_counters = prefetcher.counters()
     store = engine.store
     before = store.stats.snapshot()
     t0 = time.perf_counter()
@@ -257,7 +369,16 @@ def _process_run_group(version: int, spec, queries, cold: bool,
                 store.clear_cache()
             results.append(engine.range_query(query))
     elapsed = time.perf_counter() - t0
-    return os.getpid(), results, store.stats.diff(before), elapsed
+    demand_delta = store.stats.diff(before)
+    prefetch_info = None
+    if prefetcher is not None:
+        if hint is not None:
+            try:
+                prefetcher.prefetch(hint)
+            except Exception:
+                pass  # advisory: a failed hint crawl must not fail the task
+        prefetch_info = _process_prefetch_delta(prefetcher, pf_io, pf_counters)
+    return os.getpid(), results, demand_delta, prefetch_info, elapsed
 
 
 def _process_run_knn(version: int, spec, point, k: int, cold: bool) -> tuple:
@@ -270,7 +391,7 @@ def _process_run_knn(version: int, spec, point, k: int, cold: bool) -> tuple:
         store.clear_cache()
     hits = engine.knn_query(point, k)
     elapsed = time.perf_counter() - t0
-    return os.getpid(), [hits], store.stats.diff(before), elapsed
+    return os.getpid(), [hits], store.stats.diff(before), None, elapsed
 
 
 class _ProcessFuture:
@@ -285,7 +406,7 @@ class _ProcessFuture:
         self._future = future
 
     def result(self, timeout=None):
-        _pid, results, _delta, _elapsed = self._future.result(timeout)
+        _pid, results, _delta, _prefetch, _elapsed = self._future.result(timeout)
         return results[0]
 
     def done(self) -> bool:
@@ -370,6 +491,17 @@ class QueryService:
         Optional staleness bound: a commit also merges when this much
         wall time passed since the last generation boundary, however
         small the delta.
+    prefetch:
+        Enable trajectory prefetching: queries submitted with a
+        ``session_id`` feed a per-session
+        :class:`~repro.query.prefetch.TrajectoryModel`, and confident
+        next-box predictions warm the worker stores off the critical
+        path (background thread in thread mode, post-answer warm hint
+        in process mode).  Results and demand accounting are unchanged
+        — hits move into :attr:`ServiceReport.prefetch_hits_by_category`.
+    prefetch_config:
+        Optional :class:`~repro.query.prefetch.PrefetchConfig`
+        overriding the model/staging knobs (requires ``prefetch=True``).
     """
 
     #: Per-thread engine clones kept for superseded generations: tasks
@@ -377,10 +509,15 @@ class QueryService:
     #: version, so a few stay warm before being dropped.
     _KEPT_VERSIONS = 4
 
+    #: Per-session trajectory models remembered before LRU eviction.
+    _KEPT_SESSIONS = 1024
+
     def __init__(self, index, workers: int = 4, clear_cache_per_query: bool = True,
                  mode: str = MODE_THREAD, batch_queries: int = 1,
                  mp_context=None, delta_threshold: int = 0,
-                 merge_interval_seconds: float | None = None):
+                 merge_interval_seconds: float | None = None,
+                 prefetch: bool = False,
+                 prefetch_config: PrefetchConfig | None = None):
         if workers <= 0:
             raise ValueError(f"workers must be positive, got {workers}")
         if delta_threshold < 0:
@@ -431,6 +568,28 @@ class QueryService:
             )
         self._mode = mode
         self._batch = batch_queries
+        if prefetch_config is not None and not prefetch:
+            raise ValueError("prefetch_config given but prefetch is False")
+        self._prefetch_cfg = (
+            (prefetch_config or PrefetchConfig()) if prefetch else None
+        )
+        #: session id -> TrajectoryModel, LRU-bounded (shared by both
+        #: modes: prediction always happens in the parent, at submit).
+        self._session_models: OrderedDict = OrderedDict()
+        self._session_lock = threading.Lock()
+        #: version -> Prefetcher (thread mode only; process workers own
+        #: theirs), plus retired-generation prefetch accounting so a
+        #: commit never loses staged/consumed/read totals.
+        self._prefetchers: OrderedDict = OrderedDict()
+        self._prefetch_lock = threading.Lock()
+        self._retired_prefetch_stats = IOStats()
+        self._retired_prefetch_counters = {"staged": 0, "consumed": 0}
+        self._prefetch_failures = 0
+        self._prefetch_pool = None
+        if prefetch and mode == MODE_THREAD:
+            self._prefetch_pool = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="prefetch"
+            )
         #: version -> snapshot spec a worker process can restore that
         #: version from: ``(directory, generation)`` after a merge
         #: commit, ``(directory, generation, pickled delta)`` after an
@@ -471,7 +630,7 @@ class QueryService:
                 max_workers=workers,
                 mp_context=context,
                 initializer=_process_worker_init,
-                initargs=(payload,),
+                initargs=(payload, self._prefetch_cfg),
             )
         else:
             self._pool = ThreadPoolExecutor(
@@ -507,7 +666,12 @@ class QueryService:
                 state = (clone, clone.store)
             else:
                 store = index.store.view()
-                state = (index.with_store(store), store)
+                clone = index.with_store(store)
+                state = (clone, store)
+            if self._prefetch_cfg is not None and self._mode == MODE_THREAD:
+                # Every worker clone of a generation consumes from that
+                # generation's shared staging area(s).
+                self._prefetcher(version, index).attach(clone)
             states[version] = state
             evicted = [v for v in states if v <= version - self._KEPT_VERSIONS]
             with self._states_lock:
@@ -578,33 +742,152 @@ class QueryService:
                 "QueryService is closed; create a new service to submit queries"
             )
 
+    # -- prefetching ----------------------------------------------------
+
+    @property
+    def prefetch_enabled(self) -> bool:
+        """Whether trajectory prefetching is on for this service."""
+        return self._prefetch_cfg is not None
+
+    @property
+    def prefetch_failures(self) -> int:
+        """Background prefetch crawls that raised (and were swallowed)."""
+        return self._prefetch_failures
+
+    def _prefetcher(self, version: int, index) -> Prefetcher:
+        """The shared thread-mode prefetcher of one index generation.
+
+        Generations are retired in step with the worker clones
+        (:attr:`_KEPT_VERSIONS`); a retired prefetcher's I/O and
+        staged/consumed totals fold into lifetime counters first, so
+        commits never lose prefetch accounting.
+        """
+        with self._prefetch_lock:
+            prefetcher = self._prefetchers.get(version)
+            if prefetcher is None:
+                prefetcher = Prefetcher(index, self._prefetch_cfg)
+                self._prefetchers[version] = prefetcher
+                stale_versions = [
+                    v for v in self._prefetchers
+                    if v <= version - self._KEPT_VERSIONS
+                ]
+                for stale in stale_versions:
+                    retired = self._prefetchers.pop(stale)
+                    self._retired_prefetch_stats.merge(retired.io_stats())
+                    counters = retired.counters()
+                    for key in self._retired_prefetch_counters:
+                        self._retired_prefetch_counters[key] += counters[key]
+            return prefetcher
+
+    def _session_hint(self, session_id, query):
+        """Feed *query* to the session's model; the window to stage or None.
+
+        Returns the ``lookahead``-step predicted window — but only when
+        the next predicted box is not already inside the window staged
+        for this session, so a confident straight-line session pays one
+        staging crawl per *window*, not per query.
+        """
+        if self._prefetch_cfg is None or session_id is None:
+            return None
+        with self._session_lock:
+            entry = self._session_models.get(session_id)
+            if entry is None:
+                entry = {"model": TrajectoryModel(self._prefetch_cfg),
+                         "covered": None}
+                self._session_models[session_id] = entry
+                while len(self._session_models) > self._KEPT_SESSIONS:
+                    self._session_models.popitem(last=False)
+            else:
+                self._session_models.move_to_end(session_id)
+            model = entry["model"]
+            model.observe(query)
+            next_box = model.predict()
+            if next_box is None:
+                entry["covered"] = None
+                return None
+            covered = entry["covered"]
+            if (covered is not None
+                    and np.all(covered[:3] <= next_box[:3])
+                    and np.all(covered[3:] >= next_box[3:])):
+                return None
+            window = model.predict(self._prefetch_cfg.lookahead)
+            entry["covered"] = window
+            return window
+
+    def _do_prefetch(self, version: int, index, box) -> None:
+        """Background-thread crawl of one predicted box."""
+        try:
+            self._prefetcher(version, index).prefetch(box)
+        except Exception:
+            # Prefetching is advisory: a failed prediction crawl must
+            # never surface into the serving path.
+            self._prefetch_failures += 1
+
+    def _schedule_prefetch(self, version: int, index, hint) -> None:
+        """Queue a predicted box behind the foreground dispatch."""
+        if hint is None or self._prefetch_pool is None:
+            return
+        self._prefetch_pool.submit(self._do_prefetch, version, index, hint)
+
+    def _drain_prefetch_pool(self) -> None:
+        """Wait for queued prefetches (single worker => FIFO barrier)."""
+        if self._prefetch_pool is not None:
+            self._prefetch_pool.submit(lambda: None).result()
+
+    def _prefetch_totals(self) -> tuple:
+        """Lifetime ``(IOStats, staged/consumed)`` across prefetchers."""
+        stats = IOStats()
+        totals = {"staged": 0, "consumed": 0}
+        with self._prefetch_lock:
+            stats.merge(self._retired_prefetch_stats)
+            for key in totals:
+                totals[key] += self._retired_prefetch_counters[key]
+            prefetchers = list(self._prefetchers.values())
+        for prefetcher in prefetchers:
+            stats.merge(prefetcher.io_stats())
+            counters = prefetcher.counters()
+            totals["staged"] += counters["staged"]
+            totals["consumed"] += counters["consumed"]
+        return stats, totals
+
     # -- serving --------------------------------------------------------
 
-    def submit(self, query):
+    def submit(self, query, session_id: str | None = None):
         """Enqueue one range query; returns a future.
 
         Monolithic indexes get one pool task per query; sharded indexes
         get one task per planner-selected shard joined by a
         :class:`GatherFuture`.
+
+        With prefetching enabled, a *session_id* scopes the query to
+        one analysis session: the box feeds that session's trajectory
+        model, and a confident prediction warms the worker stores for
+        the session's *next* query — strictly behind the foreground
+        dispatch, never blocking or reordering it.
         """
         self._check_open()
         query = np.asarray(query, dtype=np.float64)
         version, index, spec = self._current()
+        hint = self._session_hint(session_id, query)
         if self._mode == MODE_PROCESS:
             future = self._pool.submit(
                 _process_run_group, version, spec, query[None, :],
-                self.clear_cache_per_query, False,
+                self.clear_cache_per_query, False, hint,
             )
             future.add_done_callback(self._absorb_process_future)
             return _ProcessFuture(future)
         if not self._sharded:
-            return self._pool.submit(self._execute, version, index, query)
+            future = self._pool.submit(self._execute, version, index, query)
+            self._schedule_prefetch(version, index, hint)
+            return future
         shard_ids = index.planner.shards_for_box(query)
         futures = [
             self._pool.submit(self._execute_shard, version, index, int(sid), query)
             for sid in shard_ids
         ]
-        return GatherFuture(futures, self._shard_merge(index, query))
+        gather = GatherFuture(futures, self._shard_merge(index, query))
+        self._schedule_prefetch(version, index, hint)
+        return gather
 
     def run(self, queries, index_name: str = "") -> ServiceReport:
         """Serve a whole batch; results aggregate into the report.
@@ -701,7 +984,7 @@ class QueryService:
         delta = IOStats()
         pids: set = set()
         for future in futures:
-            pid, group_results, task_delta, _elapsed = future.result()
+            pid, group_results, task_delta, _prefetch, _elapsed = future.result()
             results.extend(group_results)
             delta.merge(task_delta)
             pids.add(pid)
@@ -710,6 +993,125 @@ class QueryService:
         report.reads_by_category = dict(sorted(delta.reads.items()))
         report.decodes_by_kind = dict(sorted(delta.decode_misses.items()))
         report.cache_hits = delta.cache_hits
+        if delta.prefetch_hits:
+            report.prefetch_hits_by_category = dict(
+                sorted(delta.prefetch_hits.items())
+            )
+        return results
+
+    def run_session(self, queries, session_id: str,
+                    index_name: str = "") -> ServiceReport:
+        """Serve one session's query sequence, strictly in order.
+
+        A session is one analysis client following a structure, so its
+        queries execute sequentially (each result returns before the
+        next box is submitted) — that is exactly the access pattern the
+        trajectory model learns from.  Each query goes through the same
+        dispatch as :meth:`submit`: with prefetching enabled, the
+        prediction made when query *i* is submitted warms the caches
+        for query *i+1* while *i* is being answered (thread mode) or
+        right after it (process-mode warm hint).  Works with
+        prefetching off too, as a sequential-latency baseline.
+
+        The report separates the session's demand I/O from prefetch
+        I/O: ``reads_by_category`` + ``prefetch_hits_by_category`` per
+        category equals the demand reads of a prefetch-free run, and
+        ``prefetch_reads_by_category`` / ``prefetch_staged`` /
+        ``prefetch_consumed`` describe the prefetcher's own work.
+        """
+        self._check_open()
+        queries = np.asarray(queries, dtype=np.float64)
+        if queries.ndim != 2 or queries.shape[1] != 6:
+            raise ValueError(f"expected (N, 6) query boxes, got {queries.shape}")
+        report = ServiceReport(
+            index_name=index_name or type(self._index).__name__,
+            worker_count=self.worker_count,
+            execution_mode=self._mode,
+            session_id=session_id,
+            prefetch_enabled=self.prefetch_enabled,
+        )
+        if self._mode == MODE_PROCESS:
+            results = self._run_session_process(queries, session_id, report)
+        else:
+            results = self._run_session_thread(queries, session_id, report)
+        report.query_count = len(results)
+        report.per_query_results = [len(hits) for hits in results]
+        report.result_elements = sum(report.per_query_results)
+        return report
+
+    def _run_session_thread(self, queries, session_id, report) -> list:
+        before = self._snapshot_worker_stats()
+        pf_io_before, pf_counters_before = self._prefetch_totals()
+        latencies = []
+        results = []
+        t0 = time.perf_counter()
+        for query in queries:
+            t_submit = time.perf_counter()
+            future = self.submit(query, session_id=session_id)
+            results.append(future.result())
+            latencies.append(time.perf_counter() - t_submit)
+        report.wall_seconds = time.perf_counter() - t0
+        # The last query's prefetch may still be in flight; it can no
+        # longer help this session, but the report's staging totals
+        # must be complete — drain outside the measured wall time.
+        self._drain_prefetch_pool()
+        report.latencies_seconds = latencies
+        self._aggregate_batch_stats(report, before)
+        pf_io, pf_counters = self._prefetch_totals()
+        pf_delta = pf_io.diff(pf_io_before)
+        report.prefetch_reads_by_category = dict(sorted(pf_delta.reads.items()))
+        report.prefetch_staged = (
+            pf_counters["staged"] - pf_counters_before["staged"]
+        )
+        report.prefetch_consumed = (
+            pf_counters["consumed"] - pf_counters_before["consumed"]
+        )
+        return results
+
+    def _run_session_process(self, queries, session_id, report) -> list:
+        delta = IOStats()
+        prefetch_reads: dict = {}
+        staged = consumed = 0
+        pids: set = set()
+        latencies = []
+        results = []
+        t0 = time.perf_counter()
+        for query in queries:
+            version, _index, spec = self._current()
+            hint = self._session_hint(session_id, query)
+            t_submit = time.perf_counter()
+            future = self._pool.submit(
+                _process_run_group, version, spec, query[None, :],
+                self.clear_cache_per_query, False, hint,
+            )
+            pid, group_results, task_delta, prefetch_info, _elapsed = (
+                future.result()
+            )
+            latencies.append(time.perf_counter() - t_submit)
+            results.append(group_results[0])
+            delta.merge(task_delta)
+            pids.add(pid)
+            if prefetch_info is not None:
+                for category, n in prefetch_info["reads"].items():
+                    prefetch_reads[category] = (
+                        prefetch_reads.get(category, 0) + n
+                    )
+                staged += prefetch_info["staged"]
+                consumed += prefetch_info["consumed"]
+        report.wall_seconds = time.perf_counter() - t0
+        report.latencies_seconds = latencies
+        self._absorb_process_batch(pids, delta)
+        report.workers_used = len(pids)
+        report.reads_by_category = dict(sorted(delta.reads.items()))
+        report.decodes_by_kind = dict(sorted(delta.decode_misses.items()))
+        report.cache_hits = delta.cache_hits
+        if delta.prefetch_hits:
+            report.prefetch_hits_by_category = dict(
+                sorted(delta.prefetch_hits.items())
+            )
+        report.prefetch_reads_by_category = dict(sorted(prefetch_reads.items()))
+        report.prefetch_staged = staged
+        report.prefetch_consumed = consumed
         return results
 
     def run_knn(self, points, k: int, index_name: str = "") -> ServiceReport:
@@ -755,7 +1157,7 @@ class QueryService:
             delta = IOStats()
             pids: set = set()
             for future in futures:
-                pid, hits, task_delta, _elapsed = future.result()
+                pid, hits, task_delta, _prefetch, _elapsed = future.result()
                 results.append(hits[0])
                 delta.merge(task_delta)
                 pids.add(pid)
@@ -1016,7 +1418,8 @@ class QueryService:
         for store in stores:
             prior = before.get(store)
             worker_delta = store.stats.diff(prior) if prior else store.stats
-            if worker_delta.total_reads or worker_delta.cache_hits:
+            if (worker_delta.total_reads or worker_delta.cache_hits
+                    or worker_delta.total_prefetch_hits):
                 report.workers_used += 1
             delta.merge(worker_delta)
         # Sorted keys: reports of identical batches compare equal (and
@@ -1024,6 +1427,10 @@ class QueryService:
         report.reads_by_category = dict(sorted(delta.reads.items()))
         report.decodes_by_kind = dict(sorted(delta.decode_misses.items()))
         report.cache_hits = delta.cache_hits
+        if delta.prefetch_hits:
+            report.prefetch_hits_by_category = dict(
+                sorted(delta.prefetch_hits.items())
+            )
 
     def _absorb_process_batch(self, pids: set, delta: IOStats) -> None:
         """Fold one batch's merged worker deltas into lifetime counters."""
@@ -1035,7 +1442,7 @@ class QueryService:
         """Done-callback of a :meth:`submit`-path process task."""
         if future.cancelled() or future.exception() is not None:
             return
-        pid, _results, delta, _elapsed = future.result()
+        pid, _results, delta, _prefetch, _elapsed = future.result()
         self._absorb_process_batch({pid}, delta)
 
     # -- introspection --------------------------------------------------
@@ -1104,6 +1511,8 @@ class QueryService:
         """
         with self._lifecycle_lock:
             self._closed = True
+        if self._prefetch_pool is not None:
+            self._prefetch_pool.shutdown(wait=True)
         self._pool.shutdown(wait=True)
 
     def __enter__(self) -> "QueryService":

@@ -113,6 +113,58 @@ def _clamp_preserving_volume(
     return extents
 
 
+def trajectory_range_queries(
+    space_mbr: np.ndarray,
+    volume_fraction: float,
+    count: int,
+    seed: int = 0,
+    step_fraction: float = 0.5,
+    persistence: float = 0.92,
+) -> np.ndarray:
+    """*count* fixed-volume boxes walking along a synthetic neuron branch.
+
+    The structure-following session workload: an analyst tracing a
+    fiber asks for box after box along it, so box centers follow one
+    direction-persistent branch walk
+    (:func:`repro.data.neuron.branch_path`) with a constant step of
+    ``step_fraction`` of the query edge — consecutive boxes overlap and
+    the heading drifts only gently, which is exactly what a trajectory
+    prefetcher can learn.  Boxes are cubes of ``volume_fraction`` of
+    the space volume (a session keeps the extents the analyst chose),
+    clamped to lie fully inside the space; clamping near a wall — like
+    a wall reflection of the path itself — is a genuine sharp turn the
+    prefetcher must survive, so it is left in the workload.
+    """
+    space_mbr = np.asarray(space_mbr, dtype=np.float64)
+    if not 0.0 < volume_fraction <= 1.0:
+        raise ValueError(
+            f"volume_fraction must be in (0, 1], got {volume_fraction}"
+        )
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count}")
+    if step_fraction <= 0:
+        raise ValueError(f"step_fraction must be positive, got {step_fraction}")
+    span = space_mbr[3:] - space_mbr[:3]
+    if np.any(span <= 0):
+        raise ValueError(f"space box must have positive extent, got {space_mbr}")
+
+    from repro.data.neuron import branch_path
+
+    rng = np.random.default_rng(seed)
+    edge = (volume_fraction * float(np.prod(span))) ** (1.0 / 3.0)
+    edge = float(min(edge, span.min()))
+    half = edge / 2.0
+    centers = branch_path(
+        space_mbr,
+        steps=max(count - 1, 1),
+        step_length=step_fraction * edge,
+        persistence=persistence,
+        rng=rng,
+    )[:count]
+    centers = np.clip(centers, space_mbr[:3] + half, space_mbr[3:] - half)
+    return np.concatenate([centers - half, centers + half], axis=1)
+
+
 def random_points(space_mbr: np.ndarray, count: int, seed: int = 0) -> np.ndarray:
     """*count* uniform random points inside the space (Fig. 2's probes)."""
     space_mbr = np.asarray(space_mbr, dtype=np.float64)

@@ -57,6 +57,15 @@ class DecodedPageCache:
         self._pool.put(key, decoded)
         return decoded
 
+    def seed(self, kind: str, page_id: int, decoded) -> None:
+        """Insert an already-decoded page without touching any counter.
+
+        Used by the prefetch consumption path: the decode happened
+        earlier, on the prefetcher's store (and was counted there), so
+        planting its result here must not register as a hit or miss.
+        """
+        self._pool.put((kind, page_id), decoded)
+
     def discard(self, page_id: int) -> None:
         """Drop any decoded form of one page (write-path invalidation)."""
         self._pool.discard((DECODE_METADATA, page_id))

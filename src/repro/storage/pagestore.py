@@ -283,6 +283,15 @@ class PageStore:
         self.buffer = BufferPool() if buffer is None else buffer
         self.decoded = DecodedPageCache() if decoded is None else decoded
         self.stats = IOStats()
+        #: Optional staging area a trajectory prefetcher fills ahead of
+        #: the next query (see :mod:`repro.query.prefetch`).  When set,
+        #: a buffer-missed read first checks the area: a staged page is
+        #: consumed without physical I/O and counted as a *prefetch hit*
+        #: — the read happened earlier, on the prefetcher's store.  The
+        #: serving layer attaches one shared area to every worker view
+        #: of a generation; ``None`` (the default) keeps the read path
+        #: byte-identical to the pre-prefetch engine.
+        self.prefetch_area = None
 
     def view(
         self,
@@ -368,7 +377,16 @@ class PageStore:
     # -- reading -------------------------------------------------------
 
     def read(self, page_id: int) -> bytes:
-        """Fetch a page, counting a physical read on buffer miss."""
+        """Fetch a page, counting a physical read on buffer miss.
+
+        A buffer miss consults the attached prefetch area (if any)
+        before charging physical I/O: consuming a staged page counts a
+        *prefetch hit* in its category instead of a read, and any
+        decoded forms staged with the page seed this store's decoded
+        cache — the work moved earlier, it never disappears, so
+        ``reads + prefetch_hits`` always equals the reads of a
+        prefetch-free run.
+        """
         payload = self._payload(page_id)
         if self.buffer is not None:
             cached = self.buffer.get(page_id)
@@ -376,6 +394,15 @@ class PageStore:
                 self.stats.record_cache_hit()
                 return cached
             self.buffer.put(page_id, payload)
+        area = self.prefetch_area
+        if area is not None:
+            staged = area.take(page_id)
+            if staged is not None:
+                self.stats.record_prefetch_hit(self.backend.category(page_id))
+                if self.decoded is not None:
+                    for kind, decoded in staged.items():
+                        self.decoded.seed(kind, page_id, decoded)
+                return payload
         self.stats.record_read(self.backend.category(page_id))
         return payload
 

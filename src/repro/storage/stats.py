@@ -48,6 +48,12 @@ class IOStats:
     cache_hits: int = 0
     decode_hits: dict = field(default_factory=dict)
     decode_misses: dict = field(default_factory=dict)
+    #: Demand reads absorbed by a staged prefetch (per category).  A
+    #: prefetch hit is a read whose physical I/O happened *earlier*, on
+    #: the prefetcher's store — so for any query sequence,
+    #: ``reads[c] + prefetch_hits[c]`` equals the ``reads[c]`` a
+    #: prefetch-disabled run would have charged.
+    prefetch_hits: dict = field(default_factory=dict)
 
     def record_read(self, category: str, pages: int = 1) -> None:
         """Count *pages* physical page reads in *category*."""
@@ -60,6 +66,10 @@ class IOStats:
     def record_cache_hit(self) -> None:
         """Count a read absorbed by the buffer pool (no physical I/O)."""
         self.cache_hits += 1
+
+    def record_prefetch_hit(self, category: str, pages: int = 1) -> None:
+        """Count *pages* demand reads served from staged prefetched pages."""
+        self.prefetch_hits[category] = self.prefetch_hits.get(category, 0) + pages
 
     def record_decode(self, kind: str, hit: bool) -> None:
         """Count one page-decode lookup of the given kind."""
@@ -98,6 +108,11 @@ class IOStats:
         """Total decodes absorbed by the decoded-page cache."""
         return sum(self.decode_hits.values())
 
+    @property
+    def total_prefetch_hits(self) -> int:
+        """Total demand reads absorbed by staged prefetched pages."""
+        return sum(self.prefetch_hits.values())
+
     def snapshot(self) -> "IOStats":
         """A frozen copy (for before/after differencing)."""
         return IOStats(
@@ -106,6 +121,7 @@ class IOStats:
             self.cache_hits,
             dict(self.decode_hits),
             dict(self.decode_misses),
+            dict(self.prefetch_hits),
         )
 
     @staticmethod
@@ -120,6 +136,7 @@ class IOStats:
             self.cache_hits - before.cache_hits,
             self._dict_diff(self.decode_hits, before.decode_hits),
             self._dict_diff(self.decode_misses, before.decode_misses),
+            self._dict_diff(self.prefetch_hits, before.prefetch_hits),
         )
 
     def merge(self, other: "IOStats") -> None:
@@ -133,6 +150,8 @@ class IOStats:
             self.decode_hits[kind] = self.decode_hits.get(kind, 0) + n
         for kind, n in other.decode_misses.items():
             self.decode_misses[kind] = self.decode_misses.get(kind, 0) + n
+        for category, n in other.prefetch_hits.items():
+            self.prefetch_hits[category] = self.prefetch_hits.get(category, 0) + n
 
     def reset(self) -> None:
         """Zero all counters."""
@@ -141,6 +160,7 @@ class IOStats:
         self.cache_hits = 0
         self.decode_hits.clear()
         self.decode_misses.clear()
+        self.prefetch_hits.clear()
 
     def __repr__(self) -> str:
         parts = ", ".join(f"{c}={n}" for c, n in sorted(self.reads.items()))

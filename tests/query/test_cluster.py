@@ -13,7 +13,11 @@ import pytest
 
 from repro.core import DeltaIndex, ShardedFLATIndex
 from repro.query import ClusterError, ClusterRouter
-from repro.query.workload import random_points, random_range_queries
+from repro.query.workload import (
+    random_points,
+    random_range_queries,
+    trajectory_range_queries,
+)
 
 SPACE = np.array([0.0, 0.0, 0.0, 100.0, 100.0, 100.0])
 SHARDS = 3
@@ -128,6 +132,48 @@ class TestClusterPinnedToOracle:
     def test_unknown_request_rejected(self, cluster_no_replicas):
         with pytest.raises(ClusterError, match="unknown cluster request"):
             cluster_no_replicas._request_one(0, ("frobnicate",))
+
+
+class TestTrajectorySessions:
+    def test_session_prefetches_and_keeps_accounting_exact(
+        self, snapshot_root, cluster_no_replicas
+    ):
+        """Session ids survive the scatter path: servers prefetch along
+        the trajectory, results stay byte-identical, and demand reads +
+        prefetch hits equal the session-free run's reads per category.
+
+        The baseline batch runs first: a server attaches its staging
+        area on the first request carrying a session id, so ordering
+        keeps the baseline genuinely prefetch-free.
+        """
+        _root, oracle, _queries, _points = snapshot_root
+        walk = trajectory_range_queries(SPACE, 2e-5, 24, seed=13)
+        baseline_results, baseline = cluster_no_replicas.run(walk)
+        assert baseline.session_id is None
+        assert baseline.total_prefetch_hits == 0
+        results, report = cluster_no_replicas.run(walk, session_id="tracer")
+        assert report.session_id == "tracer"
+        for got, base, query in zip(results, baseline_results, walk):
+            assert np.array_equal(got, base)
+            assert np.array_equal(got, oracle.range_query(query))
+        assert report.total_prefetch_hits > 0
+        categories = (
+            set(baseline.reads_by_category)
+            | set(report.reads_by_category)
+            | set(report.prefetch_hits_by_category)
+        )
+        for c in categories:
+            assert (
+                report.reads_by_category.get(c, 0)
+                + report.prefetch_hits_by_category.get(c, 0)
+                == baseline.reads_by_category.get(c, 0)
+            ), f"category {c} violates the accounting identity"
+
+    def test_single_query_accepts_session_id(self, snapshot_root,
+                                             cluster_no_replicas):
+        _root, oracle, queries, _points = snapshot_root
+        got = cluster_no_replicas.range_query(queries[0], session_id="solo")
+        assert np.array_equal(got, oracle.range_query(queries[0]))
 
 
 class TestDeltaOverlayAtGather:
