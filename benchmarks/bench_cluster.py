@@ -127,6 +127,13 @@ def _failover_drill(workdir, mbrs, space_mbr, queries, server_count) -> dict:
             "launch_full_copies": sum(
                 1 for entry in router.replication_log if entry["full_copy"]
             ),
+            # The launch ships' transfer accounting (ShipStats.as_dict()):
+            # what replication actually paid in bytes on the wire.
+            "launch_replication": router.replication_log,
+            "launch_bytes_sent": sum(
+                entry["bytes_sent"] + entry["index_bytes_sent"]
+                for entry in router.replication_log
+            ),
         }
 
 
@@ -175,6 +182,10 @@ def _rolling_update_drill(workdir, mbrs, space_mbr, queries, server_count,
             "mid_roll_exact": mid_exact,
             "post_roll_exact": _exact(results, new_oracle, queries),
             "shipping": report.shipping,
+            "ship_bytes_sent": sum(
+                entry["bytes_sent"] + entry["index_bytes_sent"]
+                for entry in report.shipping
+            ),
             "incremental_ships": all(
                 not entry["full_copy"] for entry in report.shipping
             ),
@@ -303,13 +314,16 @@ def main(argv=None) -> int:
     failover = report["failover"]
     print(f"failover: post-kill {failover['post_kill_qps']:8.1f} q/s, "
           f"exact={failover['post_kill_exact']}, "
-          f"lost={failover['servers_lost']}")
+          f"lost={failover['servers_lost']}; launch replication "
+          f"{failover['launch_full_copies']} full copies, "
+          f"{failover['launch_bytes_sent']:,} bytes")
     roll = report["rolling_update"]
     sent = sum(entry["pages_sent"] for entry in roll["shipping"])
     print(f"rolling update: {roll['shards_rolled']} shards in "
           f"{roll['roll_wall_seconds']:.3f}s, mid-roll exact="
           f"{roll['mid_roll_exact']}, post-roll exact="
-          f"{roll['post_roll_exact']}, {sent} pages shipped")
+          f"{roll['post_roll_exact']}, {sent} pages / "
+          f"{roll['ship_bytes_sent']:,} bytes shipped")
     return finish(report, args.out)
 
 

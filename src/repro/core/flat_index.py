@@ -292,18 +292,21 @@ class FLATIndex:
 
     # -- persistence -------------------------------------------------------
 
-    def snapshot(self, directory) -> "Path":
+    def snapshot(self, directory, codec="raw") -> "Path":
         """Export this index (pages + directories) into *directory*.
 
         The snapshot is self-describing and reopenable with
         :meth:`restore`; see :mod:`repro.core.snapshot` for the layout.
-        Exporting writes generation 0 of a fresh directory; an index
-        living on a writable file store publishes further generations
-        in place with :meth:`snapshot_generation`.
+        *codec* selects the physical page codec of the exported store
+        (:mod:`repro.storage.codec`) — queries against the restore are
+        byte-identical either way.  Exporting writes generation 0 of a
+        fresh directory; an index living on a writable file store
+        publishes further generations in place with
+        :meth:`snapshot_generation`.
         """
         from repro.core.snapshot import snapshot_index
 
-        return snapshot_index(self, directory)
+        return snapshot_index(self, directory, codec=codec)
 
     def snapshot_generation(self) -> int:
         """Publish the current state as the next snapshot generation.

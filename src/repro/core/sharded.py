@@ -496,12 +496,20 @@ class ShardedFLATIndex:
         """
         return Path(root) / _shard_dirname(shard_id)
 
-    def snapshot(self, directory) -> Path:
-        """Serialize the shard set: manifest + one FLAT snapshot per shard."""
+    def snapshot(self, directory, codec="raw") -> Path:
+        """Serialize the shard set: manifest + one FLAT snapshot per shard.
+
+        *codec* selects every shard store's physical page codec (see
+        :mod:`repro.storage.codec`).
+        """
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
         for shard in self.shards:
-            snapshot_index(shard.index, directory / _shard_dirname(shard.shard_id))
+            snapshot_index(
+                shard.index,
+                directory / _shard_dirname(shard.shard_id),
+                codec=codec,
+            )
         self.write_shard_manifest(directory)
         return directory
 

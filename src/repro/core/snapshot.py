@@ -35,6 +35,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.storage.codec import DEFAULT_CODEC
 from repro.storage.filestore import (
     FilePageBackend,
     FilePageStore,
@@ -117,10 +118,15 @@ def _write_index_files(flat, directory: Path, generation: int) -> None:
     )
 
 
-def snapshot_index(flat, directory) -> Path:
+def snapshot_index(flat, directory, codec=DEFAULT_CODEC) -> Path:
     """Export *flat* (a built ``FLATIndex``) into *directory* as generation 0.
 
-    The index files are written before the store manifest is atomically
+    *codec* selects the physical page codec of the target store (see
+    :mod:`repro.storage.codec`); the logical pages — and therefore every
+    query answer and read count — are codec-invariant, so exporting the
+    same index under ``raw`` and ``delta64`` yields byte-identical
+    restores over very differently sized ``pages.dat`` files.  The
+    index files are written before the store manifest is atomically
     published, so a crash mid-export leaves no generation behind.
     """
     directory = Path(directory)
@@ -132,7 +138,7 @@ def snapshot_index(flat, directory) -> Path:
             f"cannot export a snapshot into the index's own directory "
             f"{directory}; use snapshot_generation() to publish in place"
         )
-    target = FilePageBackend.create(directory)
+    target = FilePageBackend.create(directory, codec=codec)
     try:
         for page_id in range(len(store)):
             target.append(store.read_silent(page_id), store.category(page_id))
@@ -222,7 +228,7 @@ def publish_fork_generation(flat, expected_base: int | None = None) -> tuple:
     return directory, generation
 
 
-def ship_index_generation(source_dir, dest_dir, generation=None) -> dict:
+def ship_index_generation(source_dir, dest_dir, generation=None):
     """Replicate one *index* generation into a replica directory.
 
     The index-level face of
@@ -235,8 +241,9 @@ def ship_index_generation(source_dir, dest_dir, generation=None) -> dict:
     last), preserving the crash rule: a half-shipped replica never
     exposes a restorable generation it does not fully hold.
 
-    Returns the store ship's transfer accounting plus the index-file
-    bytes under ``index_bytes_sent``.
+    Returns the store ship's
+    :class:`~repro.storage.filestore.ShipStats` with the index-file
+    bytes filled into ``index_bytes_sent``.
     """
     from repro.storage.filestore import ship_store_generation, latest_generation
 
@@ -263,7 +270,7 @@ def ship_index_generation(source_dir, dest_dir, generation=None) -> dict:
         os.replace(scratch, dest_dir / name)
         index_bytes += len(payload)
     report = ship_store_generation(source_dir, dest_dir, generation)
-    report["index_bytes_sent"] = index_bytes
+    report.index_bytes_sent = index_bytes
     return report
 
 

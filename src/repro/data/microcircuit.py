@@ -23,6 +23,27 @@ PAPER_VOLUME_SIDE_UM = 285.0
 #: multiply by `scale` here).
 PAPER_DENSITY_STEPS = tuple(50 * i for i in range(1, 10))
 
+#: Coordinate grid of the generated geometry, in µm: every endpoint and
+#: radius is snapped to a multiple of this power-of-two step.  Real
+#: morphology data carries instrument precision (SWC files record a few
+#: decimals, well above 1e-3 µm); a raw ``rng.uniform`` draw instead
+#: fills all 52 mantissa bits with noise, which misrepresents the
+#: entropy of the data every storage codec sees.  2^-16 µm ≈ 15 pm is
+#: far below any measurement's precision, so snapping changes nothing
+#: physical while giving pages the redundancy real data has.  Being a
+#: power of two, the min/max/± MBR arithmetic downstream stays *exact*
+#: on the grid (coordinates stay < 2^53 grid steps), so MBRs inherit
+#: the alignment.  Pass ``coordinate_grid=None`` for full-entropy
+#: coordinates.
+COORDINATE_GRID_UM = 2.0**-16
+
+
+def snap_to_grid(array: np.ndarray, grid: float) -> np.ndarray:
+    """Round every value to the nearest multiple of *grid*."""
+    if grid <= 0:
+        raise ValueError(f"grid must be positive, got {grid}")
+    return np.round(array / grid) * grid
+
 
 @dataclass(frozen=True)
 class Microcircuit:
@@ -51,6 +72,7 @@ def build_microcircuit(
     side: float = PAPER_VOLUME_SIDE_UM,
     config: MorphologyConfig | None = None,
     seed: int = 0,
+    coordinate_grid: float | None = COORDINATE_GRID_UM,
 ) -> Microcircuit:
     """Generate a microcircuit of ~*n_elements* cylinders in ``[0, side]^3``.
 
@@ -58,6 +80,10 @@ def build_microcircuit(
     fixed, and more neurons are placed to reach the target element
     count.  The exact count is ``ceil(n / segments_per_neuron)`` neurons
     times the per-neuron segment count, then truncated to *n_elements*.
+
+    Endpoints and radii are snapped to *coordinate_grid*
+    (:data:`COORDINATE_GRID_UM` by default — instrument precision, see
+    its docstring); ``coordinate_grid=None`` keeps raw RNG doubles.
     """
     if n_elements <= 0:
         raise ValueError(f"n_elements must be positive, got {n_elements}")
@@ -76,6 +102,13 @@ def build_microcircuit(
             p1=cylinders.p1[:n_elements],
             r0=cylinders.r0[:n_elements],
             r1=cylinders.r1[:n_elements],
+        )
+    if coordinate_grid is not None:
+        cylinders = CylinderSet(
+            p0=snap_to_grid(cylinders.p0, coordinate_grid),
+            p1=snap_to_grid(cylinders.p1, coordinate_grid),
+            r0=snap_to_grid(cylinders.r0, coordinate_grid),
+            r1=snap_to_grid(cylinders.r1, coordinate_grid),
         )
     return Microcircuit(cylinders=cylinders, space_mbr=space, n_neurons=n_neurons)
 

@@ -552,7 +552,7 @@ class ClusterRouter:
                 )
                 shipping.append(ship_index_generation(
                     directory, replica_dir, generation
-                ))
+                ).as_dict())
                 replicas.append(_start_shard_server(
                     pos, "replica", replica_dir, generation,
                     shard.element_ids, runtime_dir, authkey,
@@ -899,7 +899,7 @@ class ClusterRouter:
                 shipping.append(dict(
                     ship_index_generation(
                         primary.directory, replica.directory, generation
-                    ),
+                    ).as_dict(),
                     shard=pos,
                 ))
                 if replica.alive:

@@ -43,6 +43,15 @@ from repro.storage.stats import (
     IOStats,
 )
 from repro.storage.buffer import BufferPool
+from repro.storage.codec import (
+    DEFAULT_CODEC,
+    Delta64Codec,
+    PageCodec,
+    RawCodec,
+    available_codecs,
+    get_codec,
+    register_codec,
+)
 from repro.storage.decoded_cache import (
     DECODE_ELEMENT,
     DECODE_METADATA,
@@ -60,6 +69,7 @@ from repro.storage.pagestore import (
 from repro.storage.filestore import (
     FilePageBackend,
     FilePageStore,
+    ShipStats,
     append_overlay_generation,
     latest_generation,
     list_generations,
@@ -72,12 +82,14 @@ __all__ = [
     "BufferPool",
     "DECODE_ELEMENT",
     "DECODE_METADATA",
+    "DEFAULT_CODEC",
     "DecodedPageCache",
     "CATEGORY_METADATA",
     "CATEGORY_OBJECT",
     "CATEGORY_RTREE_INTERNAL",
     "CATEGORY_RTREE_LEAF",
     "CATEGORY_SEED_INTERNAL",
+    "Delta64Codec",
     "DiskModel",
     "FilePageBackend",
     "FilePageStore",
@@ -89,14 +101,20 @@ __all__ = [
     "OBJECT_PAGE_CAPACITY",
     "OverlayPageBackend",
     "PAGE_SIZE",
+    "PageCodec",
     "PageStore",
     "PageStoreError",
     "PageStoreGroup",
+    "RawCodec",
+    "ShipStats",
     "SnapshotError",
     "append_overlay_generation",
+    "available_codecs",
+    "get_codec",
     "latest_generation",
     "list_generations",
     "manifest_filename",
+    "register_codec",
     "ship_store_generation",
     "write_store_snapshot",
 ]

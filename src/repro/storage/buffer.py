@@ -19,13 +19,29 @@ class BufferPool:
     ``capacity=None`` means unbounded (the within-a-query OS cache).
     Keys and values are opaque to the pool; the decoded-page cache
     reuses these LRU mechanics with ``(kind, page_id)`` keys.
+
+    ``byte_capacity`` bounds the pool by *bytes* instead of (or on top
+    of) entry count: each :meth:`put` charges the entry's cost (its
+    physical stored size, passed by the caller, or ``len(page)``), and
+    LRU entries are evicted until the budget holds.  This is how the
+    scale benchmark models a fixed RAM grant over stores whose physical
+    pages differ in size — a compressed store fits proportionally more
+    pages into the same budget.
     """
 
-    def __init__(self, capacity: int | None = None):
+    def __init__(self, capacity: int | None = None,
+                 byte_capacity: int | None = None):
         if capacity is not None and capacity <= 0:
             raise ValueError(f"capacity must be positive or None, got {capacity}")
+        if byte_capacity is not None and byte_capacity <= 0:
+            raise ValueError(
+                f"byte_capacity must be positive or None, got {byte_capacity}"
+            )
         self.capacity = capacity
+        self.byte_capacity = byte_capacity
         self._pages: OrderedDict[int, bytes] = OrderedDict()
+        self._costs: dict[int, int] = {}
+        self._resident_bytes = 0
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -46,24 +62,50 @@ class BufferPool:
         self.hits += 1
         return page
 
-    def put(self, page_id: int, page: bytes) -> None:
-        """Insert a page, evicting the least recently used one if full."""
+    def put(self, page_id: int, page: bytes, cost: int | None = None) -> None:
+        """Insert a page, evicting least recently used entries if full.
+
+        *cost* is the bytes charged against ``byte_capacity`` (the
+        page's physical stored size); it defaults to ``len(page)`` and
+        is ignored by pools without a byte budget.
+        """
         if page_id in self._pages:
             self._pages.move_to_end(page_id)
             self._pages[page_id] = page
+            if self.byte_capacity is not None and cost is not None:
+                self._resident_bytes += cost - self._costs[page_id]
+                self._costs[page_id] = cost
             return
         if self.capacity is not None and len(self._pages) >= self.capacity:
-            self._pages.popitem(last=False)
-            self.evictions += 1
+            self._evict_one()
+        if self.byte_capacity is not None:
+            cost = len(page) if cost is None else cost
+            while self._pages and self._resident_bytes + cost > self.byte_capacity:
+                self._evict_one()
+            self._costs[page_id] = cost
+            self._resident_bytes += cost
         self._pages[page_id] = page
+
+    def _evict_one(self) -> None:
+        evicted_id, _page = self._pages.popitem(last=False)
+        self._resident_bytes -= self._costs.pop(evicted_id, 0)
+        self.evictions += 1
+
+    @property
+    def resident_bytes(self) -> int:
+        """Bytes currently charged against ``byte_capacity``."""
+        return self._resident_bytes
 
     def discard(self, page_id) -> None:
         """Drop one cached page if present (write-path invalidation)."""
-        self._pages.pop(page_id, None)
+        if self._pages.pop(page_id, None) is not None:
+            self._resident_bytes -= self._costs.pop(page_id, 0)
 
     def clear(self) -> None:
         """Drop every cached page (the paper's cache clearing step)."""
         self._pages.clear()
+        self._costs.clear()
+        self._resident_bytes = 0
 
     def page_ids(self) -> list:
         """The keys currently resident, in insertion (LRU) order.

@@ -42,9 +42,11 @@ import json
 import mmap
 import os
 import re
+from dataclasses import dataclass
 from pathlib import Path
 
 from repro.storage.buffer import BufferPool
+from repro.storage.codec import DEFAULT_CODEC, get_codec
 from repro.storage.constants import PAGE_SIZE
 from repro.storage.decoded_cache import DecodedPageCache
 from repro.storage.pagestore import (
@@ -62,7 +64,15 @@ CATEGORIES_FILENAME = "categories.bin"
 #: Bumped on any incompatible change to the directory layout.  Version 2
 #: introduced numbered manifest generations and the page-translation
 #: table (version-1 directories had a single flat ``manifest.json``).
-STORE_FORMAT_VERSION = 2
+#: Version 3 introduced page codecs: physical pages are variable-length
+#: blobs located by a per-generation ``segments`` offset table, and the
+#: manifest records the ``codec`` that produced them.  Version-2
+#: directories still open — they are exactly version 3 with the ``raw``
+#: codec and fixed ``PAGE_SIZE`` segments.
+STORE_FORMAT_VERSION = 3
+
+#: Manifest versions this build reads.
+SUPPORTED_STORE_FORMATS = (2, 3)
 
 _CATEGORY_CODE = {name: code for code, name in enumerate(ALL_CATEGORIES)}
 _MANIFEST_RE = re.compile(r"manifest-(\d{6})\.json$")
@@ -115,7 +125,7 @@ def _load_manifest(directory: Path, generation: int) -> dict:
             "hold a JSON object"
         )
     version = manifest.get("format_version")
-    if version != STORE_FORMAT_VERSION:
+    if version not in SUPPORTED_STORE_FORMATS:
         raise SnapshotError(
             f"snapshot directory {directory}: store format version {version!r} "
             f"in {path.name} does not match this build's {STORE_FORMAT_VERSION}"
@@ -125,11 +135,32 @@ def _load_manifest(directory: Path, generation: int) -> dict:
             f"snapshot directory {directory}: store was written with "
             f"{manifest.get('page_size')}-byte pages, this build uses {PAGE_SIZE}"
         )
-    for key in ("page_count", "physical_page_count", "page_table"):
+    required = ["page_count", "physical_page_count", "page_table"]
+    if version >= 3:
+        required += ["codec", "segments", "data_bytes"]
+    for key in required:
         if key not in manifest:
             raise SnapshotError(
                 f"snapshot directory {directory}: manifest {path.name} is "
                 f"missing the {key!r} field"
+            )
+    physical = int(manifest["physical_page_count"])
+    if version == 2:
+        # A v2 store is a v3 store avant la lettre: raw codec, one
+        # fixed-size segment per physical page.  Normalizing here lets
+        # every consumer speak v3 and old directories open unmigrated.
+        manifest = dict(manifest)
+        manifest["codec"] = "raw"
+        manifest["segments"] = [
+            [slot * PAGE_SIZE, PAGE_SIZE] for slot in range(physical)
+        ]
+        manifest["data_bytes"] = physical * PAGE_SIZE
+    else:
+        segments = manifest["segments"]
+        if len(segments) != physical:
+            raise SnapshotError(
+                f"snapshot directory {directory}: manifest {path.name} holds "
+                f"{len(segments)} segments for {physical} physical pages"
             )
     return manifest
 
@@ -151,16 +182,21 @@ class FilePageBackend:
     """
 
     def __init__(self, directory: Path, writable: bool, categories: list,
-                 table: list, physical_count: int, generation):
+                 table: list, segments: list, data_bytes: int, generation,
+                 codec=DEFAULT_CODEC):
         self.directory = directory
         self.writable = writable
         #: Latest published generation, or ``None`` before the first commit.
         self.generation = generation
         self._categories = categories
-        #: Logical page id -> physical slot in ``pages.dat``.
+        #: Logical page id -> physical slot (index into ``_segments``).
         self._table = table
-        #: Physical pages written so far (committed or not).
-        self._physical_count = physical_count
+        #: Physical slot -> ``(offset, length)`` in ``pages.dat``.
+        self._segments = segments
+        #: Bytes of ``pages.dat`` written so far (committed or not).
+        self._data_bytes = data_bytes
+        self._codec = get_codec(codec)
+        self._raw_codec = self._codec.name == "raw"
         self._file = None
         self._mmap = None
         self._closed = False
@@ -172,12 +208,14 @@ class FilePageBackend:
     # -- constructors --------------------------------------------------
 
     @classmethod
-    def create(cls, directory) -> "FilePageBackend":
+    def create(cls, directory, codec=DEFAULT_CODEC) -> "FilePageBackend":
         """Start a new writable on-disk store in *directory*.
 
-        Refuses a directory that already holds published generations:
-        ``pages.dat`` would be truncated, invalidating every manifest
-        that references its pages.
+        *codec* names the physical page codec every page is stored
+        under (see :mod:`repro.storage.codec`); it is recorded in every
+        manifest the store publishes.  Refuses a directory that already
+        holds published generations: ``pages.dat`` would be truncated,
+        invalidating every manifest that references its pages.
         """
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
@@ -192,15 +230,21 @@ class FilePageBackend:
             writable=True,
             categories=[],
             table=[],
-            physical_count=0,
+            segments=[],
+            data_bytes=0,
             generation=None,
+            codec=codec,
         )
         backend._file = open(directory / PAGES_FILENAME, "wb+")
         return backend
 
     @classmethod
     def open(cls, directory, generation=None) -> "FilePageBackend":
-        """Map an on-disk store read-only, latest generation by default."""
+        """Map an on-disk store read-only, latest generation by default.
+
+        The page codec comes from the generation's manifest, so readers
+        never need to know how a store was written.
+        """
         directory = Path(directory)
         if generation is None:
             generation = latest_generation(directory)
@@ -211,7 +255,18 @@ class FilePageBackend:
         manifest = _load_manifest(directory, generation)
         page_count = int(manifest["page_count"])
         physical_count = int(manifest["physical_page_count"])
+        data_bytes = int(manifest["data_bytes"])
         table = [int(slot) for slot in manifest["page_table"]]
+        segments = [
+            (int(offset), int(length))
+            for offset, length in manifest["segments"]
+        ]
+        try:
+            codec = get_codec(manifest["codec"])
+        except ValueError as exc:
+            raise SnapshotError(
+                f"snapshot directory {directory}: {exc}"
+            ) from None
         if len(table) != page_count:
             raise SnapshotError(
                 f"snapshot directory {directory}: page table holds "
@@ -221,6 +276,14 @@ class FilePageBackend:
             raise SnapshotError(
                 f"snapshot directory {directory}: page table references a "
                 f"physical slot outside the committed {physical_count} pages"
+            )
+        if any(
+            offset < 0 or length < 0 or offset + length > data_bytes
+            for offset, length in segments
+        ):
+            raise SnapshotError(
+                f"snapshot directory {directory}: segment table references "
+                f"bytes outside the committed {data_bytes}"
             )
         sidecar = directory / CATEGORIES_FILENAME
         if not sidecar.exists():
@@ -245,8 +308,10 @@ class FilePageBackend:
             writable=False,
             categories=categories,
             table=table,
-            physical_count=physical_count,
+            segments=segments,
+            data_bytes=data_bytes,
             generation=generation,
+            codec=codec,
         )
         data_path = directory / PAGES_FILENAME
         if not data_path.exists():
@@ -256,18 +321,17 @@ class FilePageBackend:
             )
         backend._file = open(data_path, "rb")
         size = os.fstat(backend._file.fileno()).st_size
-        needed = physical_count * PAGE_SIZE
-        if size < needed:
+        if size < data_bytes:
             backend._file.close()
             raise SnapshotError(
                 f"snapshot directory {directory}: data file holds {size} "
-                f"bytes, generation {generation} needs {needed}"
+                f"bytes, generation {generation} needs {data_bytes}"
             )
-        if physical_count:
-            # Map exactly the committed prefix; uncommitted tail pages
+        if data_bytes:
+            # Map exactly the committed prefix; uncommitted tail bytes
             # from a later aborted snapshot stay invisible.
             backend._mmap = mmap.mmap(
-                backend._file.fileno(), needed, access=mmap.ACCESS_READ
+                backend._file.fileno(), data_bytes, access=mmap.ACCESS_READ
             )
         return backend
 
@@ -278,9 +342,8 @@ class FilePageBackend:
         if not self.writable:
             raise PageStoreError("store was opened read-only")
         page_id = len(self._categories)
-        self._write_physical(payload)
-        self._table.append(self._physical_count - 1)
         self._categories.append(category)
+        self._table.append(self._write_physical(payload, category))
         return page_id
 
     def rewrite(self, page_id: int, payload: bytes) -> None:
@@ -288,14 +351,20 @@ class FilePageBackend:
         self._check_open()
         if not self.writable:
             raise PageStoreError("store was opened read-only")
-        self._write_physical(payload)
-        self._table[page_id] = self._physical_count - 1
+        self._table[page_id] = self._write_physical(
+            payload, self._categories[page_id]
+        )
 
-    def _write_physical(self, payload: bytes) -> None:
-        self._file.write(payload)
-        self._physical_count += 1
+    def _write_physical(self, payload: bytes, category: str) -> int:
+        blob = payload if self._raw_codec else self._codec.encode(
+            payload, category
+        )
+        self._file.write(blob)
+        self._segments.append((self._data_bytes, len(blob)))
+        self._data_bytes += len(blob)
         self._unflushed_writes = True
         self._dirty = True
+        return len(self._segments) - 1
 
     def fork(self):
         """Copy-on-write clone of a *read-only* backend (RAM overlay).
@@ -318,13 +387,53 @@ class FilePageBackend:
 
     def payload(self, page_id: int) -> bytes:
         self._check_open()
-        offset = self._table[page_id] * PAGE_SIZE
+        offset, length = self._segments[self._table[page_id]]
         if self._mmap is not None:
-            return self._mmap[offset:offset + PAGE_SIZE]
-        if self._unflushed_writes:
-            self._file.flush()
-            self._unflushed_writes = False
-        return os.pread(self._file.fileno(), PAGE_SIZE, offset)
+            blob = self._mmap[offset:offset + length]
+        else:
+            if self._unflushed_writes:
+                self._file.flush()
+                self._unflushed_writes = False
+            blob = os.pread(self._file.fileno(), length, offset)
+        if self._raw_codec:
+            return blob
+        return self._codec.decode(blob, self._categories[page_id])
+
+    def stored_bytes(self, page_id: int) -> int:
+        """Physical bytes this page occupies on disk (its blob length)."""
+        return self._segments[self._table[page_id]][1]
+
+    @property
+    def codec(self) -> str:
+        """Name of the codec this store's physical pages are encoded with."""
+        return self._codec.name
+
+    @property
+    def data_bytes(self) -> int:
+        """Bytes of ``pages.dat`` written so far (committed or not)."""
+        return self._data_bytes
+
+    def drop_os_cache(self) -> None:
+        """Best-effort eviction of this store's pages from the OS cache.
+
+        The scale benchmark uses this to measure genuinely cold reads:
+        ``posix_fadvise(DONTNEED)`` drops the clean page-cache pages
+        backing ``pages.dat`` and ``madvise`` zaps the mapping's
+        resident pages.  A no-op where unsupported.
+        """
+        if self._closed or self._file is None:
+            return
+        try:
+            os.posix_fadvise(
+                self._file.fileno(), 0, 0, os.POSIX_FADV_DONTNEED
+            )
+        except (AttributeError, OSError):
+            pass
+        if self._mmap is not None:
+            try:
+                self._mmap.madvise(mmap.MADV_DONTNEED)
+            except (AttributeError, ValueError, OSError):
+                pass
 
     def category(self, page_id: int) -> str:
         return self._categories[page_id]
@@ -364,9 +473,12 @@ class FilePageBackend:
             "format_version": STORE_FORMAT_VERSION,
             "page_size": PAGE_SIZE,
             "generation": generation,
+            "codec": self._codec.name,
             "page_count": len(self._categories),
-            "physical_page_count": self._physical_count,
+            "physical_page_count": len(self._segments),
+            "data_bytes": self._data_bytes,
             "page_table": list(self._table),
+            "segments": [list(segment) for segment in self._segments],
         }
         target = self.directory / manifest_filename(generation)
         scratch = target.parent / (target.name + ".tmp")
@@ -431,10 +543,24 @@ class FilePageBackend:
                 "generation and pickle the reopened (read-only) store"
             )
         self._check_open()
-        return {"directory": str(self.directory), "generation": self.generation}
+        return {
+            "directory": str(self.directory),
+            "generation": self.generation,
+            "codec": self._codec.name,
+        }
 
     def __setstate__(self, state: dict) -> None:
         fresh = FilePageBackend.open(state["directory"], state["generation"])
+        # The manifest is the source of truth for the codec; a mismatch
+        # with what the pickling process saw means the directory was
+        # swapped out underneath the spec.
+        expected = state.get("codec")
+        if expected is not None and fresh.codec != expected:
+            raise SnapshotError(
+                f"snapshot directory {state['directory']}: generation "
+                f"{state['generation']} is encoded with codec "
+                f"{fresh.codec!r}, the worker spec expected {expected!r}"
+            )
         self.__dict__.update(fresh.__dict__)
 
 
@@ -470,7 +596,11 @@ def append_overlay_generation(overlay: OverlayPageBackend) -> int:
     if latest is None:
         raise SnapshotError(f"no published generations in {directory}")
     manifest = _load_manifest(directory, latest)
-    physical = int(manifest["physical_page_count"])
+    codec = get_codec(manifest["codec"])
+    data_bytes = int(manifest["data_bytes"])
+    segments = [
+        (int(offset), int(length)) for offset, length in manifest["segments"]
+    ]
     table = [int(slot) for slot in manifest["page_table"]]
     if len(table) > len(overlay):
         raise SnapshotError(
@@ -486,31 +616,39 @@ def append_overlay_generation(overlay: OverlayPageBackend) -> int:
     with open(data_path, "r+b") as handle:
         # Drop bytes no manifest references (a crashed publisher's
         # half-written tail), then append changed pages at the frontier.
-        handle.truncate(physical * PAGE_SIZE)
-        handle.seek(physical * PAGE_SIZE)
+        handle.truncate(data_bytes)
+        handle.seek(data_bytes)
 
-        def changed(slot: int, payload: bytes) -> bool:
-            return os.pread(handle.fileno(), PAGE_SIZE, slot * PAGE_SIZE) != payload
+        def changed(slot: int, payload: bytes, category: str) -> bool:
+            # Compare *logical* bytes: with a compressing codec the
+            # stored blob for an identical payload need not be
+            # byte-stable across encoder versions.
+            offset, length = segments[slot]
+            blob = os.pread(handle.fileno(), length, offset)
+            return codec.decode(blob, category) != payload
 
-        def append(payload: bytes) -> int:
-            nonlocal physical
-            handle.write(payload)
-            physical += 1
-            return physical - 1
+        def append(payload: bytes, category: str) -> int:
+            nonlocal data_bytes
+            blob = codec.encode(payload, category)
+            handle.write(blob)
+            segments.append((data_bytes, len(blob)))
+            data_bytes += len(blob)
+            return len(segments) - 1
 
         for page_id in sorted(overlay.overrides):
             payload = overlay.overrides[page_id]
-            if changed(table[page_id], payload):
-                table[page_id] = append(payload)
-        for offset, (payload, _category) in enumerate(tail):
+            category = categories[page_id]
+            if changed(table[page_id], payload, category):
+                table[page_id] = append(payload, category)
+        for offset, (payload, category) in enumerate(tail):
             page_id = base_len + offset
             if page_id < len(table):
                 # Tail page already committed by an earlier generation;
                 # re-append only if rewritten since.
-                if changed(table[page_id], payload):
-                    table[page_id] = append(payload)
+                if changed(table[page_id], payload, category):
+                    table[page_id] = append(payload, category)
             else:
-                table.append(append(payload))
+                table.append(append(payload, category))
         handle.flush()
         os.fsync(handle.fileno())
 
@@ -527,9 +665,12 @@ def append_overlay_generation(overlay: OverlayPageBackend) -> int:
         "format_version": STORE_FORMAT_VERSION,
         "page_size": PAGE_SIZE,
         "generation": generation,
+        "codec": codec.name,
         "page_count": len(categories),
-        "physical_page_count": physical,
+        "physical_page_count": len(segments),
+        "data_bytes": data_bytes,
         "page_table": table,
+        "segments": [list(segment) for segment in segments],
     }
     target = directory / manifest_filename(generation)
     scratch = target.parent / (target.name + ".tmp")
@@ -538,7 +679,40 @@ def append_overlay_generation(overlay: OverlayPageBackend) -> int:
     return generation
 
 
-def ship_store_generation(source_dir, dest_dir, generation=None) -> dict:
+@dataclass
+class ShipStats:
+    """Transfer accounting of one generation ship.
+
+    ``pages_sent``/``bytes_sent`` count what actually moved (with a
+    compressing codec the bytes are the *compressed* tail);
+    ``full_copy`` distinguishes a fresh replica's initial copy from the
+    incremental ships that follow.  ``index_bytes_sent`` is filled by
+    :func:`~repro.core.snapshot.ship_index_generation` for the
+    index-level files riding along.
+    """
+
+    generation: int
+    pages_sent: int
+    bytes_sent: int
+    full_copy: bool
+    index_bytes_sent: int = 0
+
+    @property
+    def incremental(self) -> bool:
+        return not self.full_copy
+
+    def as_dict(self) -> dict:
+        """A JSON-ready dict (benchmark reports, logs)."""
+        return {
+            "generation": self.generation,
+            "pages_sent": self.pages_sent,
+            "bytes_sent": self.bytes_sent,
+            "full_copy": self.full_copy,
+            "index_bytes_sent": self.index_bytes_sent,
+        }
+
+
+def ship_store_generation(source_dir, dest_dir, generation=None) -> ShipStats:
     """Replicate one store generation from *source_dir* into *dest_dir*.
 
     The shipping primitive of the distributed serving tier: because
@@ -560,9 +734,9 @@ def ship_store_generation(source_dir, dest_dir, generation=None) -> dict:
     generation, otherwise the directories diverged (different writer)
     and the ship is refused with :class:`SnapshotError`.
 
-    Returns transfer accounting: ``generation`` shipped, ``pages_sent``
-    / ``bytes_sent`` over the wire (well, the filesystem), and
-    ``full_copy`` (whether the destination started empty).
+    Returns a :class:`ShipStats` with the transfer accounting.  With a
+    compressing codec the tail that moves is the *compressed* tail —
+    replication pays the same shrunken byte bill as the disk.
     """
     source_dir = Path(source_dir)
     dest_dir = Path(dest_dir)
@@ -574,6 +748,7 @@ def ship_store_generation(source_dir, dest_dir, generation=None) -> dict:
             )
     manifest = _load_manifest(source_dir, generation)
     physical = int(manifest["physical_page_count"])
+    data_bytes = int(manifest["data_bytes"])
 
     dest_dir.mkdir(parents=True, exist_ok=True)
     dest_latest = latest_generation(dest_dir)
@@ -582,7 +757,6 @@ def ship_store_generation(source_dir, dest_dir, generation=None) -> dict:
             f"replica {dest_dir} already holds generation {dest_latest}; "
             f"cannot ship older-or-equal generation {generation}"
         )
-    dest_physical = 0
     if dest_latest is not None:
         # Lineage check: the replica's latest manifest must be the
         # source's manifest of the same generation, byte-identical —
@@ -600,9 +774,12 @@ def ship_store_generation(source_dir, dest_dir, generation=None) -> dict:
                 f"replica {dest_dir} generation {dest_latest} does not match "
                 f"the source's — diverged lineage; re-replicate from scratch"
             )
-        dest_physical = int(_load_manifest(dest_dir, dest_latest)[
-            "physical_page_count"
-        ])
+        dest_manifest = _load_manifest(dest_dir, dest_latest)
+        dest_physical = int(dest_manifest["physical_page_count"])
+        dest_data_bytes = int(dest_manifest["data_bytes"])
+    else:
+        dest_physical = 0
+        dest_data_bytes = 0
 
     bytes_sent = 0
     source_data = source_dir / PAGES_FILENAME
@@ -615,18 +792,18 @@ def ship_store_generation(source_dir, dest_dir, generation=None) -> dict:
         mode = "r+b" if (dest_dir / PAGES_FILENAME).exists() else "w+b"
         with open(dest_dir / PAGES_FILENAME, mode) as dst:
             # Drop any unreferenced tail a dead ship left behind, then
-            # append exactly the pages this generation added.
-            dst.truncate(dest_physical * PAGE_SIZE)
-            dst.seek(dest_physical * PAGE_SIZE)
-            src.seek(dest_physical * PAGE_SIZE)
-            remaining = (physical - dest_physical) * PAGE_SIZE
+            # append exactly the bytes this generation added.
+            dst.truncate(dest_data_bytes)
+            dst.seek(dest_data_bytes)
+            src.seek(dest_data_bytes)
+            remaining = data_bytes - dest_data_bytes
             while remaining:
                 chunk = src.read(min(remaining, 1 << 20))
                 if not chunk:
                     raise SnapshotError(
                         f"snapshot directory {source_dir}: data file is "
                         f"shorter than generation {generation}'s "
-                        f"{physical} pages"
+                        f"{data_bytes} bytes"
                     )
                 dst.write(chunk)
                 bytes_sent += len(chunk)
@@ -649,12 +826,12 @@ def ship_store_generation(source_dir, dest_dir, generation=None) -> dict:
     os.replace(scratch, target)
     bytes_sent += len(manifest_bytes)
 
-    return {
-        "generation": int(generation),
-        "pages_sent": physical - dest_physical,
-        "bytes_sent": bytes_sent,
-        "full_copy": dest_latest is None,
-    }
+    return ShipStats(
+        generation=int(generation),
+        pages_sent=physical - dest_physical,
+        bytes_sent=bytes_sent,
+        full_copy=dest_latest is None,
+    )
 
 
 class FilePageStore(PageStore):
@@ -678,8 +855,10 @@ class FilePageStore(PageStore):
         super().__init__(buffer=buffer, decoded=decoded, backend=backend)
 
     @classmethod
-    def create(cls, directory, buffer=None, decoded=None) -> "FilePageStore":
-        return cls(FilePageBackend.create(directory), buffer, decoded)
+    def create(cls, directory, buffer=None, decoded=None,
+               codec=DEFAULT_CODEC) -> "FilePageStore":
+        return cls(FilePageBackend.create(directory, codec=codec),
+                   buffer, decoded)
 
     @classmethod
     def open(cls, directory, generation=None, buffer=None,
@@ -689,6 +868,11 @@ class FilePageStore(PageStore):
     @property
     def directory(self) -> Path:
         return self.backend.directory
+
+    @property
+    def codec(self) -> str:
+        """Name of the physical page codec (from the manifest)."""
+        return self.backend.codec
 
     @property
     def generation(self):
@@ -721,13 +905,17 @@ class FilePageStore(PageStore):
             self.close()
 
 
-def write_store_snapshot(store: PageStore, directory) -> Path:
+def write_store_snapshot(store: PageStore, directory,
+                         codec=DEFAULT_CODEC) -> Path:
     """Copy every page of *store* into a new on-disk store directory.
 
     Pages are read silently (no I/O accounting — snapshotting is not a
     query) and land in the same page-id order, so pointers baked into
     index structures stay valid verbatim in the reopened store.  The
-    copy is published as generation 0 of the target directory.
+    copy is published as generation 0 of the target directory, encoded
+    with *codec* — exporting under a different codec than the source is
+    how a store is re-compressed (or decompressed), since the logical
+    pages are codec-invariant.
     """
     directory = Path(directory)
     source_dir = getattr(store.backend, "directory", None)
@@ -738,7 +926,7 @@ def write_store_snapshot(store: PageStore, directory) -> Path:
         raise PageStoreError(
             f"cannot snapshot a store into its own directory {directory}"
         )
-    target = FilePageBackend.create(directory)
+    target = FilePageBackend.create(directory, codec=codec)
     try:
         for page_id in range(len(store)):
             target.append(store.read_silent(page_id), store.category(page_id))

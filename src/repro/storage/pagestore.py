@@ -55,18 +55,37 @@ class MemoryPageBackend:
     stat-isolated stores (see :meth:`PageStore.view`) can share one
     backend.  The file/mmap counterpart is
     :class:`repro.storage.filestore.FilePageBackend`.
+
+    With ``codec`` set (a name from :mod:`repro.storage.codec`), pages
+    are held *compressed* in RAM and decoded per :meth:`payload` — the
+    in-memory mirror of a compressed file store, for fitting more pages
+    into the same footprint at a decode cost per read.
     """
 
     #: Memory backends always accept :meth:`append`.
     writable = True
 
-    def __init__(self):
+    def __init__(self, codec: str | None = None):
+        if codec is not None:
+            from repro.storage.codec import get_codec
+
+            codec = get_codec(codec)
+            if codec.name == "raw":
+                codec = None
+        self._codec = codec
         self._pages: list[bytes] = []
         self._categories: list[str] = []
+
+    @property
+    def codec(self) -> str:
+        """Name of the codec page bytes are held under."""
+        return "raw" if self._codec is None else self._codec.name
 
     def append(self, payload: bytes, category: str) -> int:
         """Store one page payload; returns the new page id."""
         page_id = len(self._pages)
+        if self._codec is not None:
+            payload = self._codec.encode(payload, category)
         self._pages.append(payload)
         self._categories.append(category)
         return page_id
@@ -77,6 +96,8 @@ class MemoryPageBackend:
         ``bytes`` payloads are immutable, so rebinding the slot never
         mutates bytes a :meth:`fork` sibling may still be reading.
         """
+        if self._codec is not None:
+            payload = self._codec.encode(payload, self._categories[page_id])
         self._pages[page_id] = payload
 
     def fork(self) -> "MemoryPageBackend":
@@ -87,13 +108,22 @@ class MemoryPageBackend:
         Appends and rewrites on either side are invisible to the other.
         """
         clone = MemoryPageBackend()
+        clone._codec = self._codec
         clone._pages = list(self._pages)
         clone._categories = list(self._categories)
         return clone
 
     def payload(self, page_id: int) -> bytes:
-        """The raw bytes of a page (bounds already checked by the store)."""
+        """The logical bytes of a page (bounds already checked by the store)."""
+        if self._codec is not None:
+            return self._codec.decode(
+                self._pages[page_id], self._categories[page_id]
+            )
         return self._pages[page_id]
+
+    def stored_bytes(self, page_id: int) -> int:
+        """Bytes this page actually occupies in RAM (its blob length)."""
+        return len(self._pages[page_id])
 
     def category(self, page_id: int) -> str:
         return self._categories[page_id]
@@ -166,6 +196,14 @@ class OverlayPageBackend:
         if override is not None:
             return override
         return self._base.payload(page_id)
+
+    def stored_bytes(self, page_id: int) -> int:
+        """Physical bytes of a page: overlay pages sit uncompressed in
+        RAM, unchanged pages report the base's stored size."""
+        if page_id >= self._base_len or page_id in self._overrides:
+            return PAGE_SIZE
+        stored = getattr(self._base, "stored_bytes", None)
+        return PAGE_SIZE if stored is None else stored(page_id)
 
     def category(self, page_id: int) -> str:
         if page_id >= self._base_len:
@@ -393,7 +431,15 @@ class PageStore:
             if cached is not None:
                 self.stats.record_cache_hit()
                 return cached
-            self.buffer.put(page_id, payload)
+            if self.buffer.byte_capacity is None:
+                self.buffer.put(page_id, payload)
+            else:
+                # A byte-budgeted pool charges each page its *physical*
+                # footprint: compressed stores fit more pages into the
+                # same budget — the larger-than-RAM win.
+                stored = getattr(self.backend, "stored_bytes", None)
+                cost = len(payload) if stored is None else stored(page_id)
+                self.buffer.put(page_id, payload, cost)
         area = self.prefetch_area
         if area is not None:
             staged = area.take(page_id)

@@ -12,6 +12,8 @@ from repro.storage import (
     PAGE_SIZE,
 )
 from repro.storage.serial import (
+    _decode_metadata_page_scalar,
+    _decode_node_page_scalar,
     decode_element_page,
     decode_metadata_page,
     decode_node_page,
@@ -154,6 +156,15 @@ class TestMetadataPage:
     def test_empty_page(self):
         assert decode_metadata_page(encode_metadata_page([])) == []
 
+    def test_corrupt_count_rejected_fast(self):
+        """A forged huge record count must error, not walk 2**40 records
+        (regression: the vectorized offset walk read neighbor counts via
+        byte slices, which silently yield zero past the page end)."""
+        page = bytearray(encode_metadata_page(self.make_records(2)))
+        page[:8] = (2**40).to_bytes(8, "little")
+        with pytest.raises(ValueError, match="corrupt metadata page"):
+            decode_metadata_page(bytes(page))
+
 
 @settings(max_examples=30, deadline=None)
 @given(st.integers(0, OBJECT_PAGE_CAPACITY), st.integers(0, 2**31))
@@ -184,3 +195,69 @@ def test_metadata_page_roundtrip_property(neighbor_counts, seed):
         assert np.array_equal(orig[1], back[1])
         assert orig[2] == back[2]
         assert orig[3] == back[3]
+
+
+class TestVectorizedDecodersMatchScalar:
+    """The vectorized decoders are pinned, value- and type-identical,
+    against the original per-record loops (kept as ``_*_scalar``)."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, NODE_FANOUT), st.booleans(), st.integers(0, 2**31))
+    def test_node_page(self, n, leaf, seed):
+        rng = np.random.default_rng(seed)
+        ids = rng.integers(0, 2**63, size=n, dtype=np.uint64)
+        page = encode_node_page(ids, random_mbrs(n, seed=seed), leaf)
+        got_ids, got_mbrs, got_leaf = decode_node_page(page)
+        ref_ids, ref_mbrs, ref_leaf = _decode_node_page_scalar(page)
+        assert np.array_equal(got_ids, ref_ids)
+        assert got_ids.dtype == ref_ids.dtype
+        assert np.array_equal(got_mbrs, ref_mbrs, equal_nan=True)
+        assert got_mbrs.dtype == ref_mbrs.dtype
+        assert got_leaf is ref_leaf
+
+    def test_node_page_pathological_floats(self):
+        mbrs = np.array(
+            [[-0.0, 5e-324, np.inf, -np.inf, np.nan, 0.0]] * 3
+        )
+        page = encode_node_page(np.arange(3, dtype=np.uint64), mbrs, False)
+        got = decode_node_page(page)
+        ref = _decode_node_page_scalar(page)
+        assert got[0].tobytes() == ref[0].tobytes()
+        assert got[1].tobytes() == ref[1].tobytes()
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.integers(0, 20), min_size=0, max_size=15),
+        st.integers(0, 2**31),
+    )
+    def test_metadata_page(self, neighbor_counts, seed):
+        rng = np.random.default_rng(seed)
+        records = []
+        for i, nn in enumerate(neighbor_counts):
+            lo = rng.uniform(-10, 10, size=3)
+            records.append((
+                np.concatenate([lo, lo + 1]),
+                np.concatenate([lo - 1, lo + 2]),
+                int(rng.integers(0, 2**63)),
+                [int(x) for x in rng.integers(0, 2**32, size=nn)],
+            ))
+        page = encode_metadata_page(records)
+        got = decode_metadata_page(page)
+        ref = _decode_metadata_page_scalar(page)
+        assert len(got) == len(ref)
+        for g, r in zip(got, ref):
+            # Bit-exact coords and identical python-int ids/neighbors.
+            assert g[0].tobytes() == r[0].tobytes()
+            assert g[1].tobytes() == r[1].tobytes()
+            assert g[2] == r[2] and type(g[2]) is type(r[2])
+            assert g[3] == r[3]
+            assert all(type(x) is int for x in g[3])
+
+    def test_metadata_page_pathological_floats(self):
+        bad = np.array([-0.0, 5e-324, np.inf, -np.inf, np.nan, 1e308])
+        page = encode_metadata_page([(bad, -bad, 7, [0, 2**32 - 1])])
+        got = decode_metadata_page(page)
+        ref = _decode_metadata_page_scalar(page)
+        assert got[0][0].tobytes() == ref[0][0].tobytes()
+        assert got[0][1].tobytes() == ref[0][1].tobytes()
+        assert got[0][2] == 7 and got[0][3] == [0, 2**32 - 1]

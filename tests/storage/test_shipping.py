@@ -76,10 +76,13 @@ class TestIncrementalShipping:
     def test_fresh_replica_gets_one_full_copy(self, source_dir, tmp_path):
         replica = tmp_path / "replica"
         report = ship_index_generation(source_dir, replica)
-        assert report["full_copy"]
-        assert report["generation"] == 0
-        assert report["pages_sent"] * PAGE_SIZE <= report["bytes_sent"]
-        assert report["index_bytes_sent"] > 0
+        assert report.full_copy
+        assert not report.incremental
+        assert report.generation == 0
+        # Default codec is raw: the data tail is exactly page-sized.
+        assert report.pages_sent * PAGE_SIZE <= report.bytes_sent
+        assert report.index_bytes_sent > 0
+        assert report.as_dict()["pages_sent"] == report.pages_sent
         assert_stores_byte_identical(source_dir, replica, 0)
 
     def test_overlay_generations_ship_only_changed_pages(self, source_dir,
@@ -90,12 +93,13 @@ class TestIncrementalShipping:
         for seed in (3, 5, 7):
             generation = publish_next_generation(source_dir, seed)
             report = ship_index_generation(source_dir, replica, generation)
-            assert report["generation"] == generation
-            assert not report["full_copy"]
+            assert report.generation == generation
+            assert not report.full_copy
+            assert report.incremental
             # The increment is a strict fraction of the store — the
             # committed prefix never travels again.
-            assert 0 < report["pages_sent"] < full["pages_sent"]
-            assert report["bytes_sent"] < full["bytes_sent"]
+            assert 0 < report.pages_sent < full.pages_sent
+            assert report.bytes_sent < full.bytes_sent
             assert_stores_byte_identical(source_dir, replica, generation)
         assert list_generations(replica) == list_generations(source_dir)
 
@@ -106,8 +110,8 @@ class TestIncrementalShipping:
         for seed in (4, 6, 8):
             publish_next_generation(source_dir, seed)
         report = ship_index_generation(source_dir, replica)  # latest = 3
-        assert report["generation"] == 3
-        assert not report["full_copy"]
+        assert report.generation == 3
+        assert not report.full_copy
         assert_stores_byte_identical(source_dir, replica, 3)
         # The skipped intermediate manifests were never shipped.
         assert list_generations(replica) == [0, 3]
